@@ -1,0 +1,280 @@
+//! The runtime-agnostic DSM interface the benchmarks are written against.
+//!
+//! `Dsm` is the intersection of the Ace and CRL programming models: the
+//! region annotation set, synchronization, and collective id exchange.
+//! Protocol management (`new_space` / `change_protocol`) is part of the
+//! trait so one application source supports both systems; on CRL those
+//! calls are inert, exactly as porting the paper's apps to CRL erased the
+//! space annotations.
+
+use ace_core::{AceRt, Pod, RegionId, SpaceId};
+use ace_crl::CrlRt;
+use ace_protocols::{make, ProtoSpec};
+
+/// Region-based DSM operations shared by Ace and CRL.
+pub trait Dsm {
+    /// This node's rank.
+    fn rank(&self) -> usize;
+    /// Number of nodes.
+    fn nprocs(&self) -> usize;
+
+    /// Create a space bound to `spec` (Ace) or return a dummy (CRL).
+    fn new_space(&self, spec: ProtoSpec) -> u32;
+    /// Change a space's protocol (Ace) or do nothing (CRL). Collective.
+    fn change_protocol(&self, space: u32, spec: ProtoSpec);
+
+    /// Allocate a region of `words` 8-byte words from `space`.
+    fn gmalloc_words(&self, space: u32, words: usize) -> u64;
+    /// Allocate a region sized for `count` `T`s from `space`.
+    fn gmalloc<T: Pod>(&self, space: u32, count: usize) -> u64 {
+        self.gmalloc_words(space, ace_core::pod::words_for::<T>(count).max(1))
+    }
+
+    /// Map a region.
+    fn map(&self, r: u64);
+    /// Unmap a region.
+    fn unmap(&self, r: u64);
+    /// Open a read section.
+    fn start_read(&self, r: u64);
+    /// Close a read section.
+    fn end_read(&self, r: u64);
+    /// Open a write section.
+    fn start_write(&self, r: u64);
+    /// Close a write section.
+    fn end_write(&self, r: u64);
+
+    /// Typed read access (inside a section).
+    fn with<T: Pod, R>(&self, r: u64, f: impl FnOnce(&[T]) -> R) -> R;
+    /// Typed write access (inside a write section).
+    fn with_mut<T: Pod, R>(&self, r: u64, f: impl FnOnce(&mut [T]) -> R) -> R;
+
+    /// Barrier with the semantics of `space`'s protocol (global on CRL).
+    fn barrier(&self, space: u32);
+    /// Region lock.
+    fn lock(&self, r: u64);
+    /// Region unlock.
+    fn unlock(&self, r: u64);
+
+    /// Broadcast words from `root`. Collective.
+    fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]>;
+    /// All-reduce one u64. Collective.
+    fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64;
+    /// All-reduce one f64. Collective.
+    fn allreduce_f64(&self, val: f64, op: fn(f64, f64) -> f64) -> f64;
+
+    /// Charge floating-point work to the virtual clock.
+    fn charge_flops(&self, n: u64);
+    /// Charge memory-access work to the virtual clock.
+    fn charge_mem(&self, n: u64);
+}
+
+/// The Ace implementation of [`Dsm`].
+pub struct AceDsm<'a, 'n> {
+    rt: &'a AceRt<'n>,
+}
+
+impl<'a, 'n> AceDsm<'a, 'n> {
+    /// Wrap an Ace runtime.
+    pub fn new(rt: &'a AceRt<'n>) -> Self {
+        AceDsm { rt }
+    }
+
+    /// The wrapped runtime.
+    pub fn rt(&self) -> &'a AceRt<'n> {
+        self.rt
+    }
+}
+
+impl Dsm for AceDsm<'_, '_> {
+    fn rank(&self) -> usize {
+        self.rt.rank()
+    }
+    fn nprocs(&self) -> usize {
+        self.rt.nprocs()
+    }
+    fn new_space(&self, spec: ProtoSpec) -> u32 {
+        self.rt.new_space(make(spec)).0
+    }
+    fn change_protocol(&self, space: u32, spec: ProtoSpec) {
+        self.rt.change_protocol(SpaceId(space), make(spec));
+    }
+    fn gmalloc_words(&self, space: u32, words: usize) -> u64 {
+        self.rt.gmalloc_words(SpaceId(space), words).0
+    }
+    fn map(&self, r: u64) {
+        self.rt.map(RegionId(r));
+    }
+    fn unmap(&self, r: u64) {
+        self.rt.unmap(RegionId(r));
+    }
+    fn start_read(&self, r: u64) {
+        self.rt.start_read(RegionId(r));
+    }
+    fn end_read(&self, r: u64) {
+        self.rt.end_read(RegionId(r));
+    }
+    fn start_write(&self, r: u64) {
+        self.rt.start_write(RegionId(r));
+    }
+    fn end_write(&self, r: u64) {
+        self.rt.end_write(RegionId(r));
+    }
+    fn with<T: Pod, R>(&self, r: u64, f: impl FnOnce(&[T]) -> R) -> R {
+        self.rt.with(RegionId(r), f)
+    }
+    fn with_mut<T: Pod, R>(&self, r: u64, f: impl FnOnce(&mut [T]) -> R) -> R {
+        self.rt.with_mut(RegionId(r), f)
+    }
+    fn barrier(&self, space: u32) {
+        self.rt.barrier(SpaceId(space));
+    }
+    fn lock(&self, r: u64) {
+        self.rt.lock(RegionId(r));
+    }
+    fn unlock(&self, r: u64) {
+        self.rt.unlock(RegionId(r));
+    }
+    fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]> {
+        self.rt.bcast(root, vals)
+    }
+    fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64 {
+        self.rt.allreduce_u64(val, op)
+    }
+    fn allreduce_f64(&self, val: f64, op: fn(f64, f64) -> f64) -> f64 {
+        self.rt.allreduce_f64(val, op)
+    }
+    fn charge_flops(&self, n: u64) {
+        self.rt.charge_flops(n);
+    }
+    fn charge_mem(&self, n: u64) {
+        self.rt.charge_mem(n);
+    }
+}
+
+/// The CRL implementation of [`Dsm`]. Space/protocol calls are inert.
+pub struct CrlDsm<'a, 'n> {
+    crl: &'a CrlRt<'n>,
+}
+
+impl<'a, 'n> CrlDsm<'a, 'n> {
+    /// Wrap a CRL runtime.
+    pub fn new(crl: &'a CrlRt<'n>) -> Self {
+        CrlDsm { crl }
+    }
+
+    /// The wrapped runtime.
+    pub fn crl(&self) -> &'a CrlRt<'n> {
+        self.crl
+    }
+}
+
+impl Dsm for CrlDsm<'_, '_> {
+    fn rank(&self) -> usize {
+        self.crl.rank()
+    }
+    fn nprocs(&self) -> usize {
+        self.crl.nprocs()
+    }
+    fn new_space(&self, _spec: ProtoSpec) -> u32 {
+        0 // CRL has one fixed protocol and no spaces
+    }
+    fn change_protocol(&self, _space: u32, _spec: ProtoSpec) {}
+    fn gmalloc_words(&self, _space: u32, words: usize) -> u64 {
+        self.crl.create_words(words).0
+    }
+    fn map(&self, r: u64) {
+        self.crl.map(RegionId(r));
+    }
+    fn unmap(&self, r: u64) {
+        self.crl.unmap(RegionId(r));
+    }
+    fn start_read(&self, r: u64) {
+        self.crl.start_read(RegionId(r));
+    }
+    fn end_read(&self, r: u64) {
+        self.crl.end_read(RegionId(r));
+    }
+    fn start_write(&self, r: u64) {
+        self.crl.start_write(RegionId(r));
+    }
+    fn end_write(&self, r: u64) {
+        self.crl.end_write(RegionId(r));
+    }
+    fn with<T: Pod, R>(&self, r: u64, f: impl FnOnce(&[T]) -> R) -> R {
+        self.crl.with(RegionId(r), f)
+    }
+    fn with_mut<T: Pod, R>(&self, r: u64, f: impl FnOnce(&mut [T]) -> R) -> R {
+        self.crl.with_mut(RegionId(r), f)
+    }
+    fn barrier(&self, _space: u32) {
+        self.crl.barrier();
+    }
+    fn lock(&self, r: u64) {
+        self.crl.lock(RegionId(r));
+    }
+    fn unlock(&self, r: u64) {
+        self.crl.unlock(RegionId(r));
+    }
+    fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]> {
+        self.crl.bcast(root, vals)
+    }
+    fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64 {
+        self.crl.allreduce_u64(val, op)
+    }
+    fn allreduce_f64(&self, val: f64, op: fn(f64, f64) -> f64) -> f64 {
+        self.crl.allreduce_f64(val, op)
+    }
+    fn charge_flops(&self, n: u64) {
+        self.crl.charge_flops(n);
+    }
+    fn charge_mem(&self, n: u64) {
+        self.crl.charge_mem(n);
+    }
+}
+
+/// Distribute each node's id list to everyone: node `k`'s `ids` arrive in
+/// slot `k`. A common setup step for the apps (the analogue of storing
+/// `address_t`s into shared bootstrap structures).
+pub fn exchange_ids<D: Dsm>(d: &D, ids: &[u64]) -> Vec<Box<[u64]>> {
+    (0..d.nprocs()).map(|root| d.bcast(root, ids)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_core::{run_ace, CostModel};
+    use ace_crl::run_crl;
+
+    /// A tiny kernel exercising every trait method, used to check the two
+    /// adapters agree.
+    fn kernel<D: Dsm>(d: &D) -> u64 {
+        let s = d.new_space(ProtoSpec::Sc);
+        let mine = d.gmalloc::<u64>(s, 4);
+        let all = exchange_ids(d, &[mine]);
+        for ids in &all {
+            d.map(ids[0]);
+        }
+        d.start_write(mine);
+        d.with_mut::<u64, _>(mine, |v| v[0] = d.rank() as u64 + 1);
+        d.end_write(mine);
+        d.barrier(s);
+        let mut sum = 0;
+        for ids in &all {
+            d.start_read(ids[0]);
+            sum += d.with::<u64, _>(ids[0], |v| v[0]);
+            d.end_read(ids[0]);
+        }
+        d.barrier(s);
+        d.allreduce_u64(sum, |a, b| a.max(b))
+    }
+
+    #[test]
+    fn adapters_agree() {
+        let n = 3;
+        let want = (1..=n as u64).sum::<u64>();
+        let a = run_ace(n, CostModel::free(), |rt| kernel(&AceDsm::new(rt)));
+        let c = run_crl(n, CostModel::free(), |crl| kernel(&CrlDsm::new(crl)));
+        assert_eq!(a.results, vec![want; n]);
+        assert_eq!(c.results, vec![want; n]);
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's five benchmark applications (Table 3), written once against
+//! a runtime-agnostic DSM interface and runnable on both the Ace runtime
+//! and the CRL baseline — the same-source methodology of §5.1 ("we use the
+//! same source files for Ace and CRL ... by replacing CRL primitives with
+//! the corresponding Ace calls").
+//!
+//! | app | paper input | sharing pattern | custom protocol (§5.2) |
+//! |---|---|---|---|
+//! | [`em3d`] | 1000+1000 vertices, 20% remote, degree 10, 100 steps | static bipartite producer/consumer | static update (≈5×), dynamic update (≈3.5×) |
+//! | [`barnes`] | 16,384 bodies, 4 steps | bodies read by all, written by owner; shared octree | dynamic update on bodies |
+//! | [`bsc`] | Tk15.O (here: synthetic block-banded SPD) | blocks written by owner, read in bulk | home-owned (marginal win; bulk transfer dominates) |
+//! | [`tsp`] | 12 cities | central job counter + best bound | fetch-and-add counter |
+//! | [`water`] | 512 molecules, 3 steps | phase-alternating: local intra, all-to-all force accumulation | null (intra) + pipelined writes (inter), ≈2× |
+//!
+//! Every app returns a deterministic verification value so the harnesses
+//! can assert that protocol and runtime choices never change results.
+
+pub mod barnes;
+pub mod bsc;
+pub mod dsm;
+pub mod em3d;
+pub mod runner;
+pub mod tsp;
+pub mod water;
+
+pub use dsm::{AceDsm, CrlDsm, Dsm};
+pub use runner::{launch_ace, launch_crl, RunOutcome};
+
+/// Which protocol assignment an app runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Everything under the default sequentially-consistent protocol.
+    Sc,
+    /// The application-specific protocols of §5.2.
+    Custom,
+}
+
+impl Variant {
+    /// Display name used by the harnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Sc => "SC",
+            Variant::Custom => "custom",
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Launch helpers: run a benchmark kernel on either runtime and collect a
+//! uniform outcome record for the harnesses.
+
+use std::time::Duration;
+
+use ace_core::{run_ace, CostModel, OpCounters};
+use ace_crl::run_crl;
+
+use crate::dsm::{AceDsm, CrlDsm};
+
+/// Everything a harness needs from one benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The app's deterministic verification value (node 0's copy).
+    pub verification: f64,
+    /// Simulated completion time in nanoseconds.
+    pub sim_ns: u64,
+    /// Wall-clock duration of the simulation.
+    pub wall: Duration,
+    /// Total messages across all nodes.
+    pub msgs: u64,
+    /// Total payload bytes across all nodes.
+    pub bytes: u64,
+    /// Machine-wide aggregated operation counters.
+    pub counters: OpCounters,
+}
+
+impl RunOutcome {
+    /// Simulated time in milliseconds (the unit the tables print).
+    pub fn sim_ms(&self) -> f64 {
+        self.sim_ns as f64 / 1e6
+    }
+}
+
+/// Run `f` on the Ace runtime and collect the outcome.
+pub fn launch_ace<F>(nprocs: usize, cost: CostModel, f: F) -> RunOutcome
+where
+    F: Fn(&AceDsm) -> f64 + Sync,
+{
+    let r = run_ace(nprocs, cost, |rt| {
+        let d = AceDsm::new(rt);
+        let v = f(&d);
+        (v, rt.counters())
+    });
+    collect(r)
+}
+
+/// Run `f` on the CRL baseline and collect the outcome.
+pub fn launch_crl<F>(nprocs: usize, cost: CostModel, f: F) -> RunOutcome
+where
+    F: Fn(&CrlDsm) -> f64 + Sync,
+{
+    let r = run_crl(nprocs, cost, |crl| {
+        let d = CrlDsm::new(crl);
+        let v = f(&d);
+        (v, crl.counters())
+    });
+    collect(r)
+}
+
+fn collect(r: ace_core::SpmdResult<(f64, OpCounters)>) -> RunOutcome {
+    let mut counters = OpCounters::default();
+    for (_, c) in &r.results {
+        counters.merge(c);
+    }
+    RunOutcome {
+        verification: r.results[0].0,
+        sim_ns: r.sim_ns,
+        wall: r.wall,
+        msgs: r.stats.total_msgs(),
+        bytes: r.stats.total_bytes(),
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsm::Dsm;
+
+    #[test]
+    fn outcomes_carry_stats() {
+        let out = launch_ace(2, CostModel::cm5(), |d| {
+            let s = d.new_space(ace_protocols::ProtoSpec::Sc);
+            d.barrier(s);
+            42.0
+        });
+        assert_eq!(out.verification, 42.0);
+        assert!(out.msgs > 0, "barrier exchanges messages");
+        assert!(out.sim_ns > 0);
+        assert_eq!(out.counters.barriers, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablation benches: protocol-dispatch indirection cost and the
+//! latency-sensitivity of the update-protocol advantage.
+
+use ace_core::{run_ace, CostModel};
+use ace_protocols::{NullProtocol, SeqInvalidate};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+/// The dispatch-vs-direct gap the paper blames for BSC's tie (§5.1).
+fn dispatch_indirection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/dispatch");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("dispatched", |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::cm5(), |rt| {
+                let s = rt.new_space(Rc::new(NullProtocol));
+                let r = rt.gmalloc::<u64>(s, 1);
+                rt.map(r);
+                for _ in 0..1000 {
+                    rt.start_read(r);
+                    rt.end_read(r);
+                }
+                rt.node().now()
+            })
+            .sim_ns
+        })
+    });
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::cm5(), |rt| {
+                let s = rt.new_space(Rc::new(NullProtocol));
+                let r = rt.gmalloc::<u64>(s, 1);
+                rt.map(r);
+                let p = NullProtocol;
+                for _ in 0..1000 {
+                    rt.start_read_direct(r, &p);
+                    rt.end_read_direct(r, &p);
+                }
+                rt.node().now()
+            })
+            .sim_ns
+        })
+    });
+    g.finish();
+}
+
+/// Coherence-miss round trip vs hit under the default protocol.
+fn miss_vs_hit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/sc_miss");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("read_hit_1000", |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::cm5(), |rt| {
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                let r = rt.gmalloc::<u64>(s, 8);
+                rt.map(r);
+                for _ in 0..1000 {
+                    rt.start_read(r);
+                    rt.end_read(r);
+                }
+                rt.node().now()
+            })
+            .sim_ns
+        })
+    });
+    g.bench_function("read_miss_invalidate_ping_pong_100", |b| {
+        b.iter(|| {
+            run_ace(2, CostModel::cm5(), |rt| {
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                let r = if rt.rank() == 0 {
+                    ace_core::RegionId(rt.bcast(0, &[rt.gmalloc::<u64>(s, 8).0])[0])
+                } else {
+                    ace_core::RegionId(rt.bcast(0, &[])[0])
+                };
+                rt.map(r);
+                for i in 0..100u64 {
+                    if i % 2 == rt.rank() as u64 {
+                        rt.start_write(r);
+                        rt.end_write(r);
+                    }
+                    rt.machine_barrier();
+                    rt.start_read(r);
+                    rt.end_read(r);
+                    rt.machine_barrier();
+                }
+            })
+            .sim_ns
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dispatch_indirection, miss_vs_hit);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion wrapper for Figure 7b: SC vs custom protocols per benchmark.
+
+use ace_bench::fig7::{run_ace_app, Scale, APPS};
+use ace_apps::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7b");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for app in APPS {
+        g.bench_function(format!("{app}/sc"), |b| {
+            b.iter(|| run_ace_app(app, Scale::Small, Variant::Sc, 4).sim_ns)
+        });
+        g.bench_function(format!("{app}/custom"), |b| {
+            b.iter(|| run_ace_app(app, Scale::Small, Variant::Custom, 4).sim_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the runtime primitives (real wall-clock cost of the
+//! simulation itself, per operation).
+
+use ace_core::{run_ace, CostModel};
+use ace_protocols::{NullProtocol, SeqInvalidate};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+fn primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.sample_size(20);
+    g.bench_function("map_unmap_10k", |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::free(), |rt| {
+                let s = rt.new_space(Rc::new(NullProtocol));
+                let r = rt.gmalloc::<u64>(s, 1);
+                for _ in 0..10_000 {
+                    rt.map(r);
+                    rt.unmap(r);
+                }
+            })
+        })
+    });
+    g.bench_function("barrier_x100_4procs", |b| {
+        b.iter(|| {
+            run_ace(4, CostModel::free(), |rt| {
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                for _ in 0..100 {
+                    rt.barrier(s);
+                }
+            })
+        })
+    });
+    g.bench_function("lock_unlock_x200_2procs", |b| {
+        b.iter(|| {
+            run_ace(2, CostModel::free(), |rt| {
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                let r = if rt.rank() == 0 {
+                    ace_core::RegionId(rt.bcast(0, &[rt.gmalloc::<u64>(s, 1).0])[0])
+                } else {
+                    ace_core::RegionId(rt.bcast(0, &[])[0])
+                };
+                rt.map(r);
+                for _ in 0..200 {
+                    rt.lock(r);
+                    rt.unlock(r);
+                }
+                rt.machine_barrier();
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion wrapper for Table 4: every kernel at every optimization
+//! level plus the hand-written version.
+
+use ace_bench::acec::{kernels, run_compiled, run_hand};
+use ace_lang::OptLevel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for k in kernels() {
+        for level in OptLevel::ALL {
+            g.bench_function(format!("{}/{level:?}", k.name), |b| {
+                b.iter(|| run_compiled(&k, level, 4).1)
+            });
+        }
+        g.bench_function(format!("{}/hand", k.name), |b| b.iter(|| run_hand(&k, 4).1));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

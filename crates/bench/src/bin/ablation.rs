@@ -1,0 +1,97 @@
+//! Ablations for the design decisions DESIGN.md calls out:
+//!   1. network-latency sweep (sensitivity of the Fig 7b speedups),
+//!   2. region-granularity sweep (the bulk-transfer story of §2.3),
+//!   3. CRL URC-capacity sweep (mapping-design sensitivity, §5.1).
+
+use ace_apps::runner::{launch_ace, RunOutcome};
+use ace_apps::{em3d, Variant};
+use ace_core::{run_spmd, CostModel, RegionId};
+use ace_crl::CrlRt;
+
+fn em3d_speedup(cost: CostModel) -> f64 {
+    let p = em3d::Params {
+        e_nodes: 200,
+        h_nodes: 200,
+        degree: 5,
+        pct_remote: 20,
+        steps: 10,
+        seed: 7,
+        hoist_maps: false,
+    };
+    let sc: RunOutcome = launch_ace(8, cost.clone(), |d| em3d::run(d, &p, Variant::Sc));
+    let cu: RunOutcome = launch_ace(8, cost, |d| em3d::run(d, &p, Variant::Custom));
+    sc.sim_ms() / cu.sim_ms()
+}
+
+fn main() {
+    println!("== Ablation 1: EM3D custom-protocol speedup vs network latency scale ==");
+    for scale in [1u64, 2, 4, 8] {
+        let s = em3d_speedup(CostModel::cm5_net_scaled(scale));
+        println!("  net x{scale:<2}  static-update speedup = {s:.2}");
+    }
+
+    println!("\n== Ablation 2: bulk transfer — total time vs region granularity ==");
+    // Move a fixed 64 KiB of data as R regions of varying size.
+    for nregions in [1usize, 8, 64, 512] {
+        let words = 8192 / nregions;
+        let r = ace_core::run_ace(2, CostModel::cm5(), move |rt| {
+            let s = rt.new_space(std::rc::Rc::new(ace_protocols::SeqInvalidate::new()));
+            let ids: Vec<u64> = if rt.rank() == 0 {
+                let ids: Vec<u64> =
+                    (0..nregions).map(|_| rt.gmalloc_words(s, words).0).collect();
+                rt.bcast(0, &ids).to_vec()
+            } else {
+                rt.bcast(0, &[]).to_vec()
+            };
+            rt.machine_barrier();
+            if rt.rank() == 1 {
+                for id in ids {
+                    let rid = RegionId(id);
+                    rt.map(rid);
+                    rt.start_read(rid);
+                    rt.end_read(rid);
+                    rt.unmap(rid);
+                }
+            }
+            rt.machine_barrier();
+        });
+        println!(
+            "  {nregions:>4} regions x {words:>5} words: {:>8.2} ms",
+            r.sim_ns as f64 / 1e6
+        );
+    }
+
+    println!("\n== Ablation 3: CRL unmapped-region-cache capacity (4096-region sweep) ==");
+    for cap in [64usize, 256, 1024, 4096] {
+        let r = run_spmd(2, CostModel::cm5(), move |node| {
+            let crl = CrlRt::with_urc_capacity(node, cap);
+            let ids: Vec<u64> = if crl.rank() == 0 {
+                let ids: Vec<u64> = (0..2048).map(|_| crl.create_words(4).0).collect();
+                crl.bcast(0, &ids).to_vec()
+            } else {
+                crl.bcast(0, &[]).to_vec()
+            };
+            crl.barrier();
+            if crl.rank() == 1 {
+                for _ in 0..2 {
+                    for &id in &ids {
+                        let rid = RegionId(id);
+                        crl.map(rid);
+                        crl.start_read(rid);
+                        crl.end_read(rid);
+                        crl.unmap(rid);
+                    }
+                }
+            }
+            crl.barrier();
+            let c = crl.counters();
+            crl.inner().shutdown();
+            (c.map_misses, c.read_misses)
+        });
+        let (mm, rm) = r.results[1];
+        println!(
+            "  URC {cap:>5}: {:>8.2} ms  (map re-misses {mm}, read misses {rm})",
+            r.sim_ns as f64 / 1e6
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 7a: Ace runtime system versus CRL, both under the default
+//! sequentially-consistent invalidation protocol.
+//!
+//! Usage: fig7a [--small|--paper] [--procs N] [--runs K]
+
+use ace_bench::fig7::{fig7a, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Default
+    };
+    let procs = arg_val(&args, "--procs").unwrap_or(8);
+    let runs = arg_val(&args, "--runs").unwrap_or(3);
+
+    println!("Figure 7a: Ace runtime vs CRL (SC protocol), {procs} procs, avg of {runs} runs");
+    println!("{:<12} {:>12} {:>12} {:>10}", "benchmark", "Ace (ms)", "CRL (ms)", "CRL/Ace");
+    for r in fig7a(scale, procs, runs) {
+        println!("{:<12} {:>12.2} {:>12.2} {:>10.2}", r.app, r.ace_ms, r.crl_ms, r.ratio);
+    }
+    println!("\n(simulated time on the CM-5-flavoured cost model; >1 means Ace is faster)");
+}
+
+fn arg_val(args: &[String], key: &str) -> Option<usize> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}

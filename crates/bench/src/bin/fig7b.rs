@@ -1,0 +1,36 @@
+//! Figure 7b: single (SC) protocol versus application-specific protocols
+//! in Ace.
+//!
+//! Usage: fig7b [--small|--paper] [--procs N] [--runs K]
+
+use ace_bench::fig7::{fig7b, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Default
+    };
+    let procs = arg_val(&args, "--procs").unwrap_or(8);
+    let runs = arg_val(&args, "--runs").unwrap_or(3);
+
+    println!(
+        "Figure 7b: SC vs application-specific protocols in Ace, {procs} procs, avg of {runs} runs"
+    );
+    println!("{:<12} {:>12} {:>14} {:>10}", "benchmark", "SC (ms)", "custom (ms)", "speedup");
+    let rows = fig7b(scale, procs, runs);
+    let avg: f64 = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    for r in &rows {
+        println!("{:<12} {:>12.2} {:>14.2} {:>10.2}", r.app, r.sc_ms, r.custom_ms, r.speedup);
+    }
+    println!("\naverage speedup: {avg:.2} (paper: range 1.02-5, average ~2)");
+    println!("custom protocols: barnes=dynamic update, bsc=home-owned, em3d=static update,");
+    println!("                  tsp=fetch-and-add counter, water=null+pipelined phases");
+}
+
+fn arg_val(args: &[String], key: &str) -> Option<usize> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}

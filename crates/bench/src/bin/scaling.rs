@@ -1,0 +1,32 @@
+//! Processor-count scaling of the Figure 7b speedups (the paper's
+//! machine had 32 processors; this sweeps 2..32 to show the protocol
+//! advantage grows with sharing breadth).
+//!
+//! Usage: scaling [--app NAME]
+
+use ace_apps::Variant;
+use ace_bench::fig7::{run_ace_app, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args
+        .iter()
+        .position(|a| a == "--app")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("em3d")
+        .to_string();
+
+    println!("{app}: custom-protocol speedup vs processor count (default scale)\n");
+    println!("{:>6} {:>12} {:>14} {:>9}", "procs", "SC (ms)", "custom (ms)", "speedup");
+    for procs in [2usize, 4, 8, 16, 32] {
+        let sc = run_ace_app(&app, Scale::Small, Variant::Sc, procs);
+        let cu = run_ace_app(&app, Scale::Small, Variant::Custom, procs);
+        println!(
+            "{procs:>6} {:>12.2} {:>14.2} {:>9.2}",
+            sc.sim_ms(),
+            cu.sim_ms(),
+            sc.sim_ms() / cu.sim_ms()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 4: effects of the compiler optimizations on the benchmark
+//! kernels, against hand-written runtime-system code.
+//!
+//! Usage: table4 [--procs N]
+
+use ace_bench::acec::table4;
+use ace_lang::OptLevel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let procs = args
+        .iter()
+        .position(|a| a == "--procs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+
+    println!("Table 4: compiler optimization effects ({procs} procs, simulated ms)");
+    let rows = table4(procs);
+    print!("{:<24}", "Optimization");
+    for r in &rows {
+        print!(" {:>11}", r.app);
+    }
+    println!();
+    for (i, level) in OptLevel::ALL.iter().enumerate() {
+        print!("{:<24}", level.label());
+        for r in &rows {
+            print!(" {:>11.2}", r.level_ms[i]);
+        }
+        println!();
+    }
+    print!("{:<24}", "Hand-optimized");
+    for r in &rows {
+        print!(" {:>11.2}", r.hand_ms);
+    }
+    println!();
+    println!("\nbest-compiled / hand ratios (paper: 1.1-1.3x):");
+    for r in &rows {
+        println!(
+            "  {:<12} {:.2}x   (verification compiled={:.6} hand={:.6})",
+            r.app,
+            r.level_ms[3] / r.hand_ms,
+            r.verification.0,
+            r.verification.1
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Figure 7 computations: per-benchmark runs on both runtimes and under
+//! both protocol assignments.
+
+use ace_apps::runner::{launch_ace, launch_crl, RunOutcome};
+use ace_apps::{barnes, bsc, em3d, tsp, water, Variant};
+use ace_core::CostModel;
+
+/// The five benchmarks, in the paper's order.
+pub const APPS: [&str; 5] = ["barnes", "bsc", "em3d", "tsp", "water"];
+
+/// Workload scale for the harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast inputs for CI-style runs.
+    Small,
+    /// Inputs near Table 3 (Barnes scaled to 2048 bodies so a laptop
+    /// regenerates the figure in minutes; pass `--paper` for 16,384).
+    Default,
+    /// The full Table 3 inputs.
+    Paper,
+}
+
+fn em3d_params(s: Scale) -> em3d::Params {
+    match s {
+        Scale::Small => em3d::Params::small(),
+        Scale::Default => em3d::Params {
+            e_nodes: 400,
+            h_nodes: 400,
+            degree: 6,
+            pct_remote: 20,
+            steps: 20,
+            seed: 7,
+            hoist_maps: false,
+        },
+        Scale::Paper => em3d::Params::paper(),
+    }
+}
+
+fn barnes_params(s: Scale) -> barnes::Params {
+    match s {
+        Scale::Small => barnes::Params::small(),
+        Scale::Default => barnes::Params { bodies: 1024, steps: 2, theta: 1.0, seed: 3 },
+        Scale::Paper => barnes::Params::paper(),
+    }
+}
+
+fn bsc_params(s: Scale) -> bsc::Params {
+    match s {
+        Scale::Small => bsc::Params::small(),
+        Scale::Default => bsc::Params { nblocks: 12, block: 16, band: 4, seed: 5 },
+        Scale::Paper => bsc::Params::paper(),
+    }
+}
+
+fn tsp_params(s: Scale) -> tsp::Params {
+    match s {
+        Scale::Small => tsp::Params::small(),
+        Scale::Default => tsp::Params { cities: 10, seed: 11 },
+        Scale::Paper => tsp::Params::paper(),
+    }
+}
+
+fn water_params(s: Scale) -> water::Params {
+    match s {
+        Scale::Small => water::Params::small(),
+        Scale::Default => water::Params { molecules: 96, steps: 2, seed: 23 },
+        Scale::Paper => water::Params::paper(),
+    }
+}
+
+/// Run one benchmark on the Ace runtime.
+pub fn run_ace_app(app: &str, scale: Scale, v: Variant, nprocs: usize) -> RunOutcome {
+    let cost = CostModel::cm5();
+    match app {
+        "em3d" => {
+            let p = em3d_params(scale);
+            launch_ace(nprocs, cost, move |d| em3d::run(d, &p, v))
+        }
+        "barnes" => {
+            let p = barnes_params(scale);
+            launch_ace(nprocs, cost, move |d| barnes::run(d, &p, v))
+        }
+        "bsc" => {
+            let p = bsc_params(scale);
+            launch_ace(nprocs, cost, move |d| bsc::run(d, &p, v))
+        }
+        "tsp" => {
+            let p = tsp_params(scale);
+            launch_ace(nprocs, cost, move |d| tsp::run(d, &p, v))
+        }
+        "water" => {
+            let p = water_params(scale);
+            launch_ace(nprocs, cost, move |d| water::run(d, &p, v))
+        }
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Run one benchmark on the CRL baseline (always the fixed SC protocol).
+pub fn run_crl_app(app: &str, scale: Scale, nprocs: usize) -> RunOutcome {
+    let cost = CostModel::cm5();
+    match app {
+        "em3d" => {
+            let p = em3d_params(scale);
+            launch_crl(nprocs, cost, move |d| em3d::run(d, &p, Variant::Sc))
+        }
+        "barnes" => {
+            let p = barnes_params(scale);
+            launch_crl(nprocs, cost, move |d| barnes::run(d, &p, Variant::Sc))
+        }
+        "bsc" => {
+            let p = bsc_params(scale);
+            launch_crl(nprocs, cost, move |d| bsc::run(d, &p, Variant::Sc))
+        }
+        "tsp" => {
+            let p = tsp_params(scale);
+            launch_crl(nprocs, cost, move |d| tsp::run(d, &p, Variant::Sc))
+        }
+        "water" => {
+            let p = water_params(scale);
+            launch_crl(nprocs, cost, move |d| water::run(d, &p, Variant::Sc))
+        }
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// One row of Figure 7a: Ace vs CRL, both under SC (averaged over `runs`
+/// repetitions, like the paper's average of three runs).
+pub struct Fig7aRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Ace simulated time, ms.
+    pub ace_ms: f64,
+    /// CRL simulated time, ms.
+    pub crl_ms: f64,
+    /// CRL/Ace ratio (> 1 means Ace is faster).
+    pub ratio: f64,
+}
+
+/// Compute Figure 7a.
+pub fn fig7a(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7aRow> {
+    APPS.iter()
+        .map(|app| {
+            let ace: f64 = (0..runs)
+                .map(|_| run_ace_app(app, scale, Variant::Sc, nprocs).sim_ms())
+                .sum::<f64>()
+                / runs as f64;
+            let crl: f64 = (0..runs)
+                .map(|_| run_crl_app(app, scale, nprocs).sim_ms())
+                .sum::<f64>()
+                / runs as f64;
+            Fig7aRow { app: app.to_string(), ace_ms: ace, crl_ms: crl, ratio: crl / ace }
+        })
+        .collect()
+}
+
+/// One row of Figure 7b: SC vs application-specific protocols in Ace.
+pub struct Fig7bRow {
+    /// Benchmark name.
+    pub app: String,
+    /// SC simulated time, ms.
+    pub sc_ms: f64,
+    /// Custom-protocol simulated time, ms.
+    pub custom_ms: f64,
+    /// Speedup from the custom protocols.
+    pub speedup: f64,
+}
+
+/// Compute Figure 7b.
+pub fn fig7b(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7bRow> {
+    APPS.iter()
+        .map(|app| {
+            let sc: f64 = (0..runs)
+                .map(|_| run_ace_app(app, scale, Variant::Sc, nprocs).sim_ms())
+                .sum::<f64>()
+                / runs as f64;
+            let cu: f64 = (0..runs)
+                .map(|_| run_ace_app(app, scale, Variant::Custom, nprocs).sim_ms())
+                .sum::<f64>()
+                / runs as f64;
+            Fig7bRow { app: app.to_string(), sc_ms: sc, custom_ms: cu, speedup: sc / cu }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_small_has_expected_shape() {
+        let rows = fig7a(Scale::Small, 4, 1);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.ace_ms > 0.0 && r.crl_ms > 0.0, "{}", r.app);
+        }
+    }
+
+    #[test]
+    fn fig7b_small_custom_never_much_slower() {
+        let rows = fig7b(Scale::Small, 4, 1);
+        for r in &rows {
+            assert!(
+                r.speedup > 0.7,
+                "{}: custom protocols should not badly regress ({})",
+                r.app,
+                r.speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure/table harnesses reproducing the paper's evaluation (§5).
+//!
+//! * [`fig7`] — the runtime comparisons: Ace vs CRL under the default
+//!   protocol (Figure 7a) and SC vs application-specific protocols in Ace
+//!   (Figure 7b).
+//! * [`acec`] — the Ace-C benchmark kernels and their hand-written
+//!   runtime-system counterparts for the compiler evaluation (Table 4).
+//!
+//! Binaries `fig7a`, `fig7b`, `table4`, and `ablation` print the tables;
+//! the Criterion benches under `benches/` wrap the same computations.
+
+pub mod acec;
+pub mod fig7;
+
+/// Simulated milliseconds, the unit all tables print.
+pub fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}

@@ -1,0 +1,92 @@
+//! Operation counters: how often each runtime primitive executed.
+//!
+//! These drive the compiler evaluation (Table 4 reports the effect of
+//! removing/merging protocol calls) and the protocol comparisons.
+
+/// Per-node counts of runtime primitive invocations.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OpCounters {
+    /// `map` calls that found a local entry.
+    pub map_hits: u64,
+    /// `map` calls that had to fetch metadata from home.
+    pub map_misses: u64,
+    /// `unmap` calls.
+    pub unmaps: u64,
+    /// `start_read` calls.
+    pub start_reads: u64,
+    /// `start_read` calls that required communication.
+    pub read_misses: u64,
+    /// `start_write` calls.
+    pub start_writes: u64,
+    /// `start_write` calls that required communication.
+    pub write_misses: u64,
+    /// `end_read` + `end_write` calls.
+    pub ends: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Lock acquisitions.
+    pub locks: u64,
+    /// Protocol messages handled on this node.
+    pub proto_msgs: u64,
+    /// Calls dispatched through a space (indirect protocol dispatch).
+    pub dispatched: u64,
+    /// Calls made directly to a known protocol (compiler direct dispatch,
+    /// or a fixed-protocol runtime).
+    pub direct: u64,
+}
+
+impl OpCounters {
+    /// Total annotation-style calls (maps + starts + ends + unmaps), the
+    /// quantity the paper's compiler optimizations reduce.
+    pub fn total_annotations(&self) -> u64 {
+        self.map_hits + self.map_misses + self.unmaps + self.start_reads + self.start_writes
+            + self.ends
+    }
+
+    /// Element-wise sum, for machine-wide aggregation.
+    pub fn merge(&mut self, o: &OpCounters) {
+        self.map_hits += o.map_hits;
+        self.map_misses += o.map_misses;
+        self.unmaps += o.unmaps;
+        self.start_reads += o.start_reads;
+        self.read_misses += o.read_misses;
+        self.start_writes += o.start_writes;
+        self.write_misses += o.write_misses;
+        self.ends += o.ends;
+        self.barriers += o.barriers;
+        self.locks += o.locks;
+        self.proto_msgs += o.proto_msgs;
+        self.dispatched += o.dispatched;
+        self.direct += o.direct;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = OpCounters { map_hits: 1, start_reads: 2, ..Default::default() };
+        let b = OpCounters { map_hits: 10, ends: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.map_hits, 11);
+        assert_eq!(a.start_reads, 2);
+        assert_eq!(a.ends, 5);
+    }
+
+    #[test]
+    fn annotation_total() {
+        let c = OpCounters {
+            map_hits: 1,
+            map_misses: 2,
+            unmaps: 3,
+            start_reads: 4,
+            start_writes: 5,
+            ends: 6,
+            barriers: 99,
+            ..Default::default()
+        };
+        assert_eq!(c.total_annotations(), 21);
+    }
+}

@@ -1,0 +1,62 @@
+//! The Ace runtime: a region-based software DSM with *customizable
+//! coherence protocols*.
+//!
+//! This crate reproduces the runtime system of §4.1 of the paper. Shared
+//! data lives in **regions** — arbitrarily-sized, user-granularity units of
+//! coherence — allocated from **spaces**. A space is the paper's high-level
+//! abstraction for associating a protocol with a data structure: every
+//! region belongs to exactly one space, and all coherence actions on the
+//! region dispatch through the space to its current [`Protocol`].
+//!
+//! The programming model is the paper's annotation set (Figure 3):
+//!
+//! | paper             | here                         |
+//! |-------------------|------------------------------|
+//! | `Ace_NewSpace`    | [`AceRt::new_space`]         |
+//! | `Ace_GMalloc`     | [`AceRt::gmalloc`]           |
+//! | `Ace_ChangeProtocol` | [`AceRt::change_protocol`]|
+//! | `ACE_MAP` / `ACE_UNMAP` | [`AceRt::map`] / [`AceRt::unmap`] |
+//! | `ACE_START_READ` / `ACE_END_READ` | [`AceRt::start_read`] / [`AceRt::end_read`] |
+//! | `ACE_START_WRITE` / `ACE_END_WRITE` | [`AceRt::start_write`] / [`AceRt::end_write`] |
+//! | `Ace_Barrier`     | [`AceRt::barrier`]           |
+//! | `Ace_Lock` / `Ace_UnLock` | [`AceRt::lock`] / [`AceRt::unlock`] |
+//!
+//! Protocols implement *full access control* (§2.1): hooks before and after
+//! reads and writes, at map/unmap, and at synchronization points, plus an
+//! active-message handler for their wire protocol.
+
+pub mod counters;
+pub mod ids;
+pub mod msg;
+pub mod protocol;
+pub mod region;
+pub mod rt;
+pub mod space;
+
+pub use ace_machine::pod::{self, Pod};
+pub use ace_machine::{run_spmd, CostModel, Envelope, Node, SpmdResult};
+pub use counters::OpCounters;
+pub use ids::{RegionId, SpaceId};
+pub use msg::{AceMsg, ProtoMsg};
+pub use protocol::{Actions, Protocol};
+pub use region::RegionEntry;
+pub use rt::AceRt;
+pub use space::SpaceEntry;
+
+/// Run an SPMD Ace program on `nprocs` simulated processors.
+///
+/// Each node gets a fresh [`AceRt`] over its [`Node`]. The runtime appends a
+/// machine-wide shutdown barrier after `f` returns so the quiescence
+/// contract of the substrate holds.
+pub fn run_ace<R, F>(nprocs: usize, cost: CostModel, f: F) -> SpmdResult<R>
+where
+    R: Send,
+    F: Fn(&AceRt) -> R + Sync,
+{
+    run_spmd(nprocs, cost, |node| {
+        let rt = AceRt::new(node);
+        let r = f(&rt);
+        rt.shutdown();
+        r
+    })
+}

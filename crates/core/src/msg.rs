@@ -1,0 +1,95 @@
+//! Wire messages of the Ace runtime.
+
+use ace_machine::MsgSize;
+
+use crate::ids::{RegionId, SpaceId};
+
+/// A protocol-level active message. The runtime routes it to the protocol
+/// of the target region's space; the `op`/`arg` fields are interpreted by
+/// the protocol alone, which is what lets new protocols define their own
+/// wire protocols without touching the runtime (§2.4, extensibility).
+#[derive(Debug)]
+pub struct ProtoMsg {
+    /// Target region.
+    pub region: RegionId,
+    /// Protocol-defined opcode.
+    pub op: u16,
+    /// The node on whose behalf this message was sent (for three-hop
+    /// forwarding this differs from the envelope's `src`).
+    pub from: u16,
+    /// Protocol-defined scalar argument.
+    pub arg: u64,
+    /// Optional bulk payload (region data, deltas, ...).
+    pub data: Option<Box<[u64]>>,
+}
+
+/// Everything that travels between Ace nodes.
+#[derive(Debug)]
+pub enum AceMsg {
+    /// Protocol-defined message, dispatched through the region's space.
+    Proto(ProtoMsg),
+    /// First map of a region by a non-home node: ask home for metadata.
+    MetaReq { region: RegionId },
+    /// Home's answer: the region's space and size.
+    MetaReply { region: RegionId, space: SpaceId, words: u64 },
+    /// Barrier arrival at the coordinator (node 0). `tag` distinguishes
+    /// per-space barriers from the global machine barrier.
+    BarArrive { tag: u32, epoch: u64 },
+    /// Barrier release broadcast from the coordinator.
+    BarRelease { tag: u32, epoch: u64 },
+    /// Default region-lock request, queued FIFO at the region's home.
+    LockReq { region: RegionId },
+    /// Lock granted to the requester.
+    LockGrant { region: RegionId },
+    /// Lock released by the holder.
+    LockRelease { region: RegionId },
+    /// Broadcast payload from a root node (used to distribute root region
+    /// ids after setup, like exchanging `address_t`s in the paper's apps).
+    Bcast { seq: u64, vals: Box<[u64]> },
+    /// One node's contribution to a gather at a root node.
+    Gather { seq: u64, vals: Box<[u64]> },
+}
+
+impl MsgSize for AceMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            AceMsg::Proto(p) => 12 + p.data.as_ref().map_or(0, |d| d.len() * 8),
+            AceMsg::MetaReq { .. } => 8,
+            AceMsg::MetaReply { .. } => 20,
+            AceMsg::BarArrive { .. } | AceMsg::BarRelease { .. } => 12,
+            AceMsg::LockReq { .. } | AceMsg::LockGrant { .. } | AceMsg::LockRelease { .. } => 8,
+            AceMsg::Bcast { vals, .. } | AceMsg::Gather { vals, .. } => 8 + vals.len() * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_size_includes_payload() {
+        let m = AceMsg::Proto(ProtoMsg {
+            region: RegionId::new(0, 1),
+            op: 3,
+            from: 0,
+            arg: 0,
+            data: Some(vec![0u64; 10].into_boxed_slice()),
+        });
+        assert_eq!(m.size_bytes(), 12 + 80);
+        let m2 = AceMsg::Proto(ProtoMsg {
+            region: RegionId::new(0, 1),
+            op: 3,
+            from: 0,
+            arg: 0,
+            data: None,
+        });
+        assert_eq!(m2.size_bytes(), 12);
+    }
+
+    #[test]
+    fn bcast_size_scales() {
+        let m = AceMsg::Bcast { seq: 0, vals: vec![1, 2, 3].into_boxed_slice() };
+        assert_eq!(m.size_bytes(), 8 + 24);
+    }
+}

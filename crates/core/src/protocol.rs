@@ -1,0 +1,163 @@
+//! The protocol interface: full access control (§2.1, §3.2).
+
+use crate::msg::ProtoMsg;
+use crate::region::RegionEntry;
+use crate::rt::AceRt;
+use crate::space::SpaceEntry;
+
+/// Bitmask of protocol hooks, used two ways: to declare which hooks a
+/// protocol defines as null (so the compiler's direct-dispatch pass can
+/// delete calls to them, §4.2), and in tests to describe hook coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Actions(pub u16);
+
+impl Actions {
+    pub const MAP: Actions = Actions(1 << 0);
+    pub const UNMAP: Actions = Actions(1 << 1);
+    pub const START_READ: Actions = Actions(1 << 2);
+    pub const END_READ: Actions = Actions(1 << 3);
+    pub const START_WRITE: Actions = Actions(1 << 4);
+    pub const END_WRITE: Actions = Actions(1 << 5);
+    pub const BARRIER: Actions = Actions(1 << 6);
+    pub const LOCK: Actions = Actions(1 << 7);
+    pub const UNLOCK: Actions = Actions(1 << 8);
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        Actions(0)
+    }
+
+    /// Set-union of two masks.
+    pub fn union(self, other: Actions) -> Actions {
+        Actions(self.0 | other.0)
+    }
+
+    /// Whether all bits of `other` are present.
+    pub fn contains(self, other: Actions) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// A coherence protocol with full access control.
+///
+/// One protocol object is instantiated per space per node (protocols are
+/// node-local; their distributed state lives in the protocol-owned fields
+/// of [`RegionEntry`] and [`SpaceEntry`] plus their wire messages). Hooks
+/// run on the node's own thread; the `handle` hook runs when a protocol
+/// message arrives at a poll point, which is the Active Messages execution
+/// model the paper targets.
+///
+/// Invariant required of implementations: `handle` must not block (no
+/// nested waits) — multi-hop exchanges are written as state machines using
+/// the entry's `st`/`pending`/`blocked` fields. The `start_*`/`lock`/
+/// `barrier` hooks may block via [`AceRt::wait_region`] and friends.
+pub trait Protocol: 'static {
+    /// Protocol name, as registered with the system (Figure 1).
+    fn name(&self) -> &'static str;
+
+    /// Whether the compiler may move or merge this protocol's calls
+    /// (the `Optimizable` flag of Figure 1). Protocols whose accesses must
+    /// appear atomic — like the default sequentially-consistent protocol —
+    /// return false.
+    fn optimizable(&self) -> bool {
+        false
+    }
+
+    /// Which hooks are null for this protocol (candidates for removal by
+    /// the direct-dispatch optimization).
+    fn null_actions(&self) -> Actions {
+        Actions::empty()
+    }
+
+    /// A region was just allocated at its home node.
+    fn on_create(&self, _rt: &AceRt, _e: &RegionEntry) {}
+
+    /// A region was mapped on this node (entry exists; data buffer
+    /// allocated but possibly invalid).
+    fn on_map(&self, _rt: &AceRt, _e: &RegionEntry) {}
+
+    /// The region was unmapped on this node.
+    fn on_unmap(&self, _rt: &AceRt, _e: &RegionEntry) {}
+
+    /// Before-read hook: must return with a readable local copy.
+    fn start_read(&self, rt: &AceRt, e: &RegionEntry);
+
+    /// After-read hook.
+    fn end_read(&self, rt: &AceRt, e: &RegionEntry);
+
+    /// Before-write hook: must return with a writable local copy.
+    fn start_write(&self, rt: &AceRt, e: &RegionEntry);
+
+    /// After-write hook.
+    fn end_write(&self, rt: &AceRt, e: &RegionEntry);
+
+    /// Barrier with this space's semantics. The default is the plain
+    /// machine barrier.
+    fn barrier(&self, rt: &AceRt, s: &SpaceEntry) {
+        rt.space_barrier(s);
+    }
+
+    /// Region lock. The default is the runtime's home-queued FIFO lock.
+    fn lock(&self, rt: &AceRt, e: &RegionEntry) {
+        rt.default_lock(e);
+    }
+
+    /// Region unlock, pairing `lock`.
+    fn unlock(&self, rt: &AceRt, e: &RegionEntry) {
+        rt.default_unlock(e);
+    }
+
+    /// Handle one of this protocol's wire messages targeted at region `e`.
+    /// `src` is the sending node. Must not block.
+    fn handle(&self, rt: &AceRt, e: &RegionEntry, msg: ProtoMsg, src: usize);
+
+    /// Bring the region to the *base state* (valid master copy at home, no
+    /// remote copies, empty directory) so that another protocol can adopt
+    /// it. Called on every node for its local entries during
+    /// `change_protocol`; must complete synchronously (waiting for acks is
+    /// allowed). The paper: "changing from the default protocol to any
+    /// other protocol results in all cached regions being flushed back to
+    /// their home processors" (§3.1).
+    fn flush(&self, rt: &AceRt, e: &RegionEntry);
+
+    /// Adopt a region previously brought to base state by another protocol
+    /// (runs after the flush barrier during `change_protocol`).
+    fn adopt(&self, _rt: &AceRt, _e: &RegionEntry) {}
+
+    /// New space bound to this protocol (runs in `new_space` and after the
+    /// swap in `change_protocol`).
+    fn init_space(&self, _rt: &AceRt, _s: &SpaceEntry) {}
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A protocol stub for unit tests of the runtime plumbing: every hook
+    /// is a no-op and every access hits locally.
+    pub struct NoopProtocol;
+
+    impl Protocol for NoopProtocol {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn optimizable(&self) -> bool {
+            true
+        }
+        fn start_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn end_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn start_write(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn end_write(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn handle(&self, _rt: &AceRt, _e: &RegionEntry, _msg: ProtoMsg, _src: usize) {}
+        fn flush(&self, _rt: &AceRt, _e: &RegionEntry) {}
+    }
+
+    #[test]
+    fn actions_mask_ops() {
+        let m = Actions::MAP.union(Actions::END_READ);
+        assert!(m.contains(Actions::MAP));
+        assert!(m.contains(Actions::END_READ));
+        assert!(!m.contains(Actions::START_WRITE));
+        assert!(m.contains(Actions::empty()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-node bookkeeping for one shared region.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+
+use crate::ids::{RegionId, SpaceId};
+
+/// Node-local state for one region: the cached data, access bookkeeping,
+/// and a bag of protocol-owned fields.
+///
+/// Rather than a `Box<dyn Any>` per region, protocols share a fixed set of
+/// fields that cover what real directory protocols keep per line: a state
+/// code, a sharer bitmask, an owner, an outstanding-ack count, a scalar, a
+/// blocked-request queue and an optional twin buffer. Each protocol
+/// documents its own interpretation. This keeps the per-region footprint
+/// flat and the hot path allocation-free.
+pub struct RegionEntry {
+    /// The region's global id (home rank is `id.home()`).
+    pub id: RegionId,
+    /// The space this region was allocated from. Fixed for the region's
+    /// lifetime; the space's *protocol* may change.
+    pub space: SpaceId,
+    /// Size of the region in 8-byte words.
+    pub words: usize,
+    /// The local copy of the region's data. At the home node this is the
+    /// master copy; elsewhere it is a cache whose validity the protocol
+    /// tracks in `st`.
+    pub data: RefCell<Box<[u64]>>,
+    /// Map count (maps nest, per CRL semantics).
+    pub mapped: Cell<u32>,
+    /// Number of open read sections.
+    pub read_active: Cell<u32>,
+    /// Number of open write sections.
+    pub write_active: Cell<u32>,
+
+    // ---- protocol-owned fields ----
+    /// Protocol-defined state code.
+    pub st: Cell<u32>,
+    /// Home-side sharer bitmask (bit *i* = node *i* holds a copy).
+    pub sharers: Cell<u64>,
+    /// Home-side exclusive owner rank, or -1.
+    pub owner: Cell<i32>,
+    /// Outstanding acknowledgements (invalidations, flushes, deltas...).
+    pub pending: Cell<u32>,
+    /// Protocol-defined scalar (epoch numbers, fetched tickets, ...).
+    pub aux: Cell<u64>,
+    /// Requests that arrived while the region was in a transient state,
+    /// replayed when the region quiesces: `(from, op, arg)`.
+    pub blocked: RefCell<VecDeque<(u16, u16, u64)>>,
+    /// Twin buffer for diffing protocols (pipelined delta writes).
+    pub twin: RefCell<Option<Box<[u64]>>>,
+
+    // ---- default region lock (home side + requester side) ----
+    /// Home side: lock currently held by someone.
+    pub lock_held: Cell<bool>,
+    /// Home side: FIFO of waiting rank(s).
+    pub lock_queue: RefCell<VecDeque<u16>>,
+    /// Requester side: our pending lock request has been granted.
+    pub lock_granted: Cell<bool>,
+}
+
+impl RegionEntry {
+    /// Create the entry with zeroed data (home allocation or fresh cache).
+    pub fn new(id: RegionId, space: SpaceId, words: usize) -> Self {
+        RegionEntry {
+            id,
+            space,
+            words,
+            data: RefCell::new(vec![0u64; words].into_boxed_slice()),
+            mapped: Cell::new(0),
+            read_active: Cell::new(0),
+            write_active: Cell::new(0),
+            st: Cell::new(0),
+            sharers: Cell::new(0),
+            owner: Cell::new(-1),
+            pending: Cell::new(0),
+            aux: Cell::new(0),
+            blocked: RefCell::new(VecDeque::new()),
+            twin: RefCell::new(None),
+            lock_held: Cell::new(false),
+            lock_queue: RefCell::new(VecDeque::new()),
+            lock_granted: Cell::new(false),
+        }
+    }
+
+    /// Whether this node is the region's home.
+    pub fn is_home_of(&self, rank: usize) -> bool {
+        self.id.home() == rank
+    }
+
+    /// Whether any access section (read or write) is currently open.
+    pub fn busy(&self) -> bool {
+        self.read_active.get() > 0 || self.write_active.get() > 0
+    }
+
+    /// Snapshot the current data (bulk transfer payload).
+    pub fn clone_data(&self) -> Box<[u64]> {
+        self.data.borrow().clone()
+    }
+
+    /// Overwrite the local copy with incoming data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload size does not match the region size.
+    pub fn install_data(&self, incoming: &[u64]) {
+        let mut d = self.data.borrow_mut();
+        assert_eq!(incoming.len(), d.len(), "payload size mismatch for {}", self.id);
+        d.copy_from_slice(incoming);
+    }
+
+    /// Add `rank` to the sharer bitmask.
+    pub fn add_sharer(&self, rank: usize) {
+        self.sharers.set(self.sharers.get() | (1 << rank));
+    }
+
+    /// Remove `rank` from the sharer bitmask.
+    pub fn drop_sharer(&self, rank: usize) {
+        self.sharers.set(self.sharers.get() & !(1 << rank));
+    }
+
+    /// Whether `rank` is in the sharer bitmask.
+    pub fn is_sharer(&self, rank: usize) -> bool {
+        self.sharers.get() & (1 << rank) != 0
+    }
+
+    /// Iterate the ranks present in the sharer bitmask.
+    pub fn sharer_ranks(&self) -> impl Iterator<Item = usize> {
+        let mask = self.sharers.get();
+        (0..64).filter(move |i| mask & (1 << i) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(words: usize) -> RegionEntry {
+        RegionEntry::new(RegionId::new(2, 5), SpaceId(1), words)
+    }
+
+    #[test]
+    fn fresh_entry_is_zeroed_and_quiescent() {
+        let e = entry(4);
+        assert_eq!(&**e.data.borrow(), &[0u64; 4]);
+        assert!(!e.busy());
+        assert_eq!(e.owner.get(), -1);
+        assert!(e.is_home_of(2));
+        assert!(!e.is_home_of(0));
+    }
+
+    #[test]
+    fn sharer_bitmask_ops() {
+        let e = entry(1);
+        e.add_sharer(0);
+        e.add_sharer(5);
+        e.add_sharer(63);
+        assert!(e.is_sharer(5));
+        assert_eq!(e.sharer_ranks().collect::<Vec<_>>(), vec![0, 5, 63]);
+        e.drop_sharer(5);
+        assert!(!e.is_sharer(5));
+        assert_eq!(e.sharer_ranks().collect::<Vec<_>>(), vec![0, 63]);
+    }
+
+    #[test]
+    fn data_install_round_trip() {
+        let e = entry(3);
+        e.install_data(&[7, 8, 9]);
+        assert_eq!(&*e.clone_data(), &[7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn mismatched_install_panics() {
+        entry(3).install_data(&[1, 2]);
+    }
+
+    #[test]
+    fn busy_tracks_open_sections() {
+        let e = entry(1);
+        e.read_active.set(1);
+        assert!(e.busy());
+        e.read_active.set(0);
+        e.write_active.set(2);
+        assert!(e.busy());
+        e.write_active.set(0);
+        assert!(!e.busy());
+    }
+}

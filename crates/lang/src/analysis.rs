@@ -1,0 +1,557 @@
+//! The space/protocol dataflow of §4.2.
+//!
+//! "Before any optimizations can be performed ... it is necessary to
+//! determine, for each access, the set of spaces that are possibly
+//! associated with the data being accessed, and the set of possible
+//! protocols of each space at that access. [...] Information is generated
+//! at Ace_GMalloc calls and propagated to accesses. Concurrently, we
+//! propagate information about the protocols associated with spaces from
+//! Ace_NewSpace and Ace_ChangeProtocol calls."
+//!
+//! Abstraction: spaces are identified by their `new_space` *site*; a
+//! handle's abstract value is the set of sites its region's space may come
+//! from (`Top` = unknown). The protocol environment maps each site to the
+//! set of protocols possibly bound at the current program point —
+//! flow-sensitive, with strong updates through `change_protocol` when the
+//! space set is a singleton. Handles that round-trip through shared
+//! memory are summarized by a single global set (field-insensitive).
+//! The analysis is interprocedural: a summary (entry fact ⊔ over call
+//! sites → exit fact) is computed per function to fixpoint.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ace_protocols::ProtoSpec;
+
+use crate::config::SystemConfig;
+use crate::ir::*;
+
+/// A set of space-creation sites, or Top (any space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sites {
+    /// Exactly these sites.
+    Set(BTreeSet<u32>),
+    /// Unknown.
+    Top,
+}
+
+impl Sites {
+    fn empty() -> Self {
+        Sites::Set(BTreeSet::new())
+    }
+
+    fn single(s: u32) -> Self {
+        Sites::Set(BTreeSet::from([s]))
+    }
+
+    fn join(&self, o: &Sites) -> Sites {
+        match (self, o) {
+            (Sites::Top, _) | (_, Sites::Top) => Sites::Top,
+            (Sites::Set(a), Sites::Set(b)) => Sites::Set(a.union(b).cloned().collect()),
+        }
+    }
+}
+
+/// Per-site protocol bindings (missing site = not created on this path).
+pub type ProtoEnv = BTreeMap<u32, BTreeSet<ProtoSpec>>;
+
+fn penv_join(a: &ProtoEnv, b: &ProtoEnv) -> ProtoEnv {
+    let mut out = a.clone();
+    for (k, v) in b {
+        out.entry(*k).or_default().extend(v.iter().cloned());
+    }
+    out
+}
+
+/// The flow fact at one program point inside a function.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    regs: Vec<Sites>,
+    slots: Vec<Sites>,
+    mem: Sites,
+    penv: ProtoEnv,
+}
+
+impl State {
+    fn bottom(f: &IFunc) -> State {
+        State {
+            regs: vec![Sites::empty(); f.nregs as usize],
+            slots: vec![Sites::empty(); f.slots.len()],
+            mem: Sites::empty(),
+            penv: ProtoEnv::new(),
+        }
+    }
+
+    fn join(&self, o: &State) -> State {
+        State {
+            regs: self.regs.iter().zip(&o.regs).map(|(a, b)| a.join(b)).collect(),
+            slots: self.slots.iter().zip(&o.slots).map(|(a, b)| a.join(b)).collect(),
+            mem: self.mem.join(&o.mem),
+            penv: penv_join(&self.penv, &o.penv),
+        }
+    }
+}
+
+/// A function summary for the interprocedural fixpoint.
+#[derive(Debug, Clone, PartialEq)]
+struct Summary {
+    /// Joined entry: argument sets + caller's mem/penv.
+    entry_args: Vec<Sites>,
+    entry_mem: Sites,
+    entry_penv: ProtoEnv,
+    seen: bool,
+    /// Exit: return set + mem/penv at returns.
+    exit_ret: Sites,
+    exit_mem: Sites,
+    exit_penv: ProtoEnv,
+}
+
+impl Summary {
+    fn new(nparams: usize) -> Self {
+        Summary {
+            entry_args: vec![Sites::empty(); nparams],
+            entry_mem: Sites::empty(),
+            entry_penv: ProtoEnv::new(),
+            seen: false,
+            exit_ret: Sites::empty(),
+            exit_mem: Sites::empty(),
+            exit_penv: ProtoEnv::new(),
+        }
+    }
+}
+
+/// Analysis results: per access site, the set of possible protocols.
+#[derive(Debug, Default)]
+pub struct Facts {
+    /// AccessId → possible protocols. Missing or empty = no information
+    /// (treated conservatively by the passes).
+    pub access: HashMap<AccessId, BTreeSet<ProtoSpec>>,
+    /// All protocol specs mentioned anywhere (the meaning of `Top`).
+    pub all_specs: BTreeSet<ProtoSpec>,
+    /// Number of space sites in the program.
+    pub nsites: u32,
+}
+
+impl Facts {
+    /// The protocol set for an access; `None` if nothing was recorded.
+    pub fn protocols(&self, aid: AccessId) -> Option<&BTreeSet<ProtoSpec>> {
+        self.access.get(&aid).filter(|s| !s.is_empty())
+    }
+
+    /// Whether every possible protocol of `aid` is registered optimizable
+    /// (the gate for LICM and merging; empty/unknown = not optimizable).
+    pub fn all_optimizable(&self, aid: AccessId, cfg: &SystemConfig) -> bool {
+        match self.protocols(aid) {
+            Some(set) => set.iter().all(|s| cfg.optimizable(*s)),
+            None => false,
+        }
+    }
+
+    /// The unique protocol of `aid`, if statically known.
+    pub fn unique_protocol(&self, aid: AccessId) -> Option<ProtoSpec> {
+        let set = self.protocols(aid)?;
+        (set.len() == 1).then(|| *set.iter().next().unwrap())
+    }
+}
+
+/// Run the dataflow over a lowered program.
+pub fn analyze(prog: &Program, _cfg: &SystemConfig) -> Facts {
+    let mut facts = Facts { nsites: count_sites(prog), ..Default::default() };
+    for f in &prog.funcs {
+        for b in &f.blocks {
+            for i in &b.insts {
+                if let Inst::Intrinsic {
+                    which: Intr::NewSpace { spec, .. } | Intr::ChangeProtocol { spec },
+                    ..
+                } = i
+                {
+                    facts.all_specs.insert(*spec);
+                }
+            }
+        }
+    }
+
+    let mut summaries: Vec<Summary> =
+        prog.funcs.iter().map(|f| Summary::new(f.nparams)).collect();
+    summaries[prog.main].seen = true;
+
+    // Interprocedural fixpoint: re-analyze while anything changes.
+    // Access facts accumulate monotonically across passes.
+    for _round in 0..64 {
+        let before = summaries.clone();
+        for (fid, f) in prog.funcs.iter().enumerate() {
+            if summaries[fid].seen {
+                analyze_fn(prog, f, fid, &mut summaries, &mut facts);
+            }
+        }
+        if summaries == before {
+            break;
+        }
+    }
+    facts
+}
+
+fn count_sites(prog: &Program) -> u32 {
+    let mut n = 0;
+    for f in &prog.funcs {
+        for b in &f.blocks {
+            for i in &b.insts {
+                if let Inst::Intrinsic { which: Intr::NewSpace { site, .. }, .. } = i {
+                    n = n.max(site + 1);
+                }
+            }
+        }
+    }
+    n
+}
+
+fn analyze_fn(
+    prog: &Program,
+    f: &IFunc,
+    fid: FuncId,
+    summaries: &mut Vec<Summary>,
+    facts: &mut Facts,
+) {
+    let nblocks = f.blocks.len();
+    let mut inb: Vec<Option<State>> = vec![None; nblocks];
+    let mut entry = State::bottom(f);
+    {
+        let s = &summaries[fid];
+        for (i, a) in s.entry_args.iter().enumerate() {
+            entry.regs.resize(f.nregs as usize, Sites::empty());
+            entry.slots[i] = a.clone();
+        }
+        entry.mem = s.entry_mem.clone();
+        entry.penv = s.entry_penv.clone();
+    }
+    inb[0] = Some(entry);
+    let mut work: Vec<BlockId> = vec![0];
+    let mut exit_ret = Sites::empty();
+    let mut exit_mem = Sites::empty();
+    let mut exit_penv = ProtoEnv::new();
+
+    while let Some(b) = work.pop() {
+        let mut st = inb[b].clone().expect("scheduled blocks have input");
+        for inst in &f.blocks[b].insts {
+            transfer(prog, inst, &mut st, summaries, facts);
+        }
+        match &f.blocks[b].term {
+            Term::Jump(t) => {
+                push_target(f, &mut inb, &mut work, *t, &st);
+            }
+            Term::Br { t, f: fb, .. } => {
+                push_target(f, &mut inb, &mut work, *t, &st);
+                push_target(f, &mut inb, &mut work, *fb, &st);
+            }
+            Term::Ret(r) => {
+                if let Some(r) = r {
+                    exit_ret = exit_ret.join(&st.regs[*r as usize]);
+                }
+                exit_mem = exit_mem.join(&st.mem);
+                exit_penv = penv_join(&exit_penv, &st.penv);
+            }
+        }
+    }
+
+    let s = &mut summaries[fid];
+    s.exit_ret = s.exit_ret.join(&exit_ret);
+    s.exit_mem = s.exit_mem.join(&exit_mem);
+    s.exit_penv = penv_join(&s.exit_penv, &exit_penv);
+}
+
+fn push_target(
+    f: &IFunc,
+    inb: &mut [Option<State>],
+    work: &mut Vec<BlockId>,
+    t: BlockId,
+    st: &State,
+) {
+    let _ = f;
+    let joined = match &inb[t] {
+        Some(old) => old.join(st),
+        None => st.clone(),
+    };
+    if inb[t].as_ref() != Some(&joined) {
+        inb[t] = Some(joined);
+        if !work.contains(&t) {
+            work.push(t);
+        }
+    }
+}
+
+fn transfer(
+    prog: &Program,
+    inst: &Inst,
+    st: &mut State,
+    summaries: &mut Vec<Summary>,
+    facts: &mut Facts,
+) {
+    let record = |facts: &mut Facts, st: &State, aid: AccessId, handle: VReg| {
+        let set: BTreeSet<ProtoSpec> = match &st.regs[handle as usize] {
+            Sites::Top => facts.all_specs.clone(),
+            Sites::Set(ks) => {
+                ks.iter().flat_map(|k| st.penv.get(k).cloned().unwrap_or_default()).collect()
+            }
+        };
+        facts.access.entry(aid).or_default().extend(set);
+    };
+    match inst {
+        Inst::Mov { dst, a } => st.regs[*dst as usize] = st.regs[*a as usize].clone(),
+        Inst::LoadLocal { dst, slot } => {
+            st.regs[*dst as usize] = st.slots[*slot as usize].clone()
+        }
+        Inst::StoreLocal { slot, a } => {
+            st.slots[*slot as usize] = st.regs[*a as usize].clone()
+        }
+        Inst::LoadArr { dst, slot, .. } => {
+            st.regs[*dst as usize] = st.slots[*slot as usize].clone()
+        }
+        Inst::StoreArr { slot, a, .. } => {
+            st.slots[*slot as usize] =
+                st.slots[*slot as usize].join(&st.regs[*a as usize])
+        }
+        Inst::Map { aid, dst, handle, .. } => {
+            st.regs[*dst as usize] = st.regs[*handle as usize].clone();
+            record(facts, st, *aid, *handle);
+        }
+        Inst::StartRead { aid, handle, .. }
+        | Inst::EndRead { aid, handle, .. }
+        | Inst::StartWrite { aid, handle, .. }
+        | Inst::EndWrite { aid, handle, .. }
+        | Inst::Lock { aid, handle, .. }
+        | Inst::Unlock { aid, handle, .. } => record(facts, st, *aid, *handle),
+        Inst::GLoad { dst, ty, .. } => {
+            st.regs[*dst as usize] =
+                if *ty == ValTy::H { st.mem.clone() } else { Sites::empty() };
+        }
+        Inst::GStore { val, .. } => {
+            st.mem = st.mem.join(&st.regs[*val as usize]);
+        }
+        Inst::Intrinsic { dst, which, args } => match which {
+            Intr::NewSpace { spec, site } => {
+                if let Some(d) = dst {
+                    st.regs[*d as usize] = Sites::single(*site);
+                }
+                // Re-executing the same site rebinds the same protocol, so
+                // a strong update is safe even inside loops.
+                st.penv.insert(*site, BTreeSet::from([*spec]));
+            }
+            Intr::ChangeProtocol { spec } => {
+                match st.regs[args[0] as usize].clone() {
+                    Sites::Set(ks) if ks.len() == 1 => {
+                        st.penv.insert(
+                            *ks.iter().next().unwrap(),
+                            BTreeSet::from([*spec]),
+                        );
+                    }
+                    Sites::Set(ks) => {
+                        for k in ks {
+                            st.penv.entry(k).or_default().insert(*spec);
+                        }
+                    }
+                    Sites::Top => {
+                        for k in 0..facts.nsites {
+                            st.penv.entry(k).or_default().insert(*spec);
+                        }
+                    }
+                }
+            }
+            Intr::Gmalloc { .. } => {
+                if let Some(d) = dst {
+                    st.regs[*d as usize] = st.regs[args[0] as usize].clone();
+                }
+            }
+            Intr::BcastP => {
+                if let Some(d) = dst {
+                    // SPMD: the sent value comes from the same program
+                    // point on the root, so its abstract value is the same.
+                    st.regs[*d as usize] = st.regs[args[1] as usize].clone();
+                }
+            }
+            _ => {
+                if let Some(d) = dst {
+                    st.regs[*d as usize] = Sites::empty();
+                }
+            }
+        },
+        Inst::Call { dst, func, args } => {
+            // Propagate into the callee's entry summary.
+            let callee_params = prog.funcs[*func].nparams;
+            let mut changed = !summaries[*func].seen;
+            summaries[*func].seen = true;
+            for i in 0..callee_params.min(args.len()) {
+                let j = summaries[*func].entry_args[i].join(&st.regs[args[i] as usize]);
+                if j != summaries[*func].entry_args[i] {
+                    summaries[*func].entry_args[i] = j;
+                    changed = true;
+                }
+            }
+            let jm = summaries[*func].entry_mem.join(&st.mem);
+            if jm != summaries[*func].entry_mem {
+                summaries[*func].entry_mem = jm;
+                changed = true;
+            }
+            let jp = penv_join(&summaries[*func].entry_penv, &st.penv);
+            if jp != summaries[*func].entry_penv {
+                summaries[*func].entry_penv = jp;
+                changed = true;
+            }
+            let _ = changed;
+            // Absorb the callee's (current) exit effects.
+            let ex = summaries[*func].clone();
+            st.mem = st.mem.join(&ex.exit_mem);
+            st.penv = penv_join(&st.penv, &ex.exit_penv);
+            if let Some(d) = dst {
+                st.regs[*d as usize] = ex.exit_ret;
+            }
+        }
+        // constants, arithmetic, conversions: never handles
+        Inst::ConstI(dst, _) | Inst::ConstF(dst, _) => {
+            st.regs[*dst as usize] = Sites::empty()
+        }
+        Inst::BinOp { dst, .. }
+        | Inst::Neg { dst, .. }
+        | Inst::Not { dst, .. }
+        | Inst::IntToF { dst, .. }
+        | Inst::FToInt { dst, .. } => st.regs[*dst as usize] = Sites::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, config::SystemConfig, OptLevel};
+
+    fn facts_of(src: &str) -> (Program, Facts) {
+        let cfg = SystemConfig::builtin();
+        let prog = compile(src, &cfg, OptLevel::O0).unwrap();
+        let facts = analyze(&prog, &cfg);
+        (prog, facts)
+    }
+
+    fn all_access_sets(prog: &Program, facts: &Facts) -> Vec<BTreeSet<ProtoSpec>> {
+        let mut out = Vec::new();
+        for f in &prog.funcs {
+            for b in &f.blocks {
+                for i in &b.insts {
+                    if let Inst::StartRead { aid, .. } | Inst::StartWrite { aid, .. } = i {
+                        out.push(facts.protocols(*aid).cloned().unwrap_or_default());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn protocol_flows_from_new_space() {
+        let (p, f) = facts_of(
+            r#"void main() {
+                space s = new_space("Update");
+                shared double *v = (shared double*) gmalloc(s, 4);
+                v[0] = 1.0;
+            }"#,
+        );
+        let sets = all_access_sets(&p, &f);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0], BTreeSet::from([ProtoSpec::DynUpdate]));
+    }
+
+    #[test]
+    fn change_protocol_strong_update() {
+        let (p, f) = facts_of(
+            r#"void main() {
+                space s = new_space("SC");
+                shared double *v = (shared double*) gmalloc(s, 4);
+                change_protocol(s, "StaticUpdate");
+                double x = v[0];
+            }"#,
+        );
+        let sets = all_access_sets(&p, &f);
+        // The access AFTER change_protocol sees only StaticUpdate (strong
+        // update through the singleton space set).
+        assert_eq!(sets[0], BTreeSet::from([ProtoSpec::StaticUpdate]));
+    }
+
+    #[test]
+    fn access_before_change_sees_old_protocol() {
+        let (p, f) = facts_of(
+            r#"void main() {
+                space s = new_space("SC");
+                shared double *v = (shared double*) gmalloc(s, 4);
+                v[0] = 1.0;
+                change_protocol(s, "Null");
+            }"#,
+        );
+        let sets = all_access_sets(&p, &f);
+        assert_eq!(sets[0], BTreeSet::from([ProtoSpec::Sc]));
+    }
+
+    #[test]
+    fn two_spaces_stay_separate() {
+        let (p, f) = facts_of(
+            r#"void main() {
+                space a = new_space("SC");
+                space b = new_space("Null");
+                shared double *x = (shared double*) gmalloc(a, 1);
+                shared double *y = (shared double*) gmalloc(b, 1);
+                x[0] = 1.0;
+                y[0] = 2.0;
+            }"#,
+        );
+        let sets = all_access_sets(&p, &f);
+        assert_eq!(sets[0], BTreeSet::from([ProtoSpec::Sc]));
+        assert_eq!(sets[1], BTreeSet::from([ProtoSpec::Null]));
+    }
+
+    #[test]
+    fn merged_paths_union_protocols() {
+        let (p, f) = facts_of(
+            r#"void main() {
+                space a = new_space("SC");
+                space b = new_space("Null");
+                shared double *x;
+                if (rank() == 0) { x = (shared double*) gmalloc(a, 1); }
+                else { x = (shared double*) gmalloc(b, 1); }
+                x[0] = 1.0;
+            }"#,
+        );
+        let sets = all_access_sets(&p, &f);
+        let last = sets.last().unwrap();
+        assert_eq!(last, &BTreeSet::from([ProtoSpec::Sc, ProtoSpec::Null]));
+    }
+
+    #[test]
+    fn interprocedural_propagation() {
+        let (p, f) = facts_of(
+            r#"
+            void work(shared double *v) { v[0] = 3.0; }
+            void main() {
+                space s = new_space("Pipelined");
+                shared double *v = (shared double*) gmalloc(s, 1);
+                work(v);
+            }"#,
+        );
+        let sets = all_access_sets(&p, &f);
+        assert!(sets.iter().any(|s| s == &BTreeSet::from([ProtoSpec::Pipelined])), "{sets:?}");
+    }
+
+    #[test]
+    fn handles_through_shared_memory_use_summary() {
+        let (p, f) = facts_of(
+            r#"
+            void main() {
+                space s = new_space("Update");
+                shared int *table = (shared int*) gmalloc(s, 4);
+                shared double *v = (shared double*) gmalloc(s, 1);
+                table[0] = (int) v;
+                shared double *w = (shared double*) table[0];
+                w[0] = 9.0;
+            }"#,
+        );
+        // `w` was laundered through an int store, so its space set is
+        // empty/unknown — the final write must NOT claim a singleton
+        // protocol via the memory summary (ints are not tracked).
+        let sets = all_access_sets(&p, &f);
+        assert!(sets.last().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Abstract syntax for Ace-C.
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Double,
+    /// No value.
+    Void,
+    /// Opaque space handle (the paper's predefined `Space` type).
+    Space,
+    /// `shared T*`: a handle to a region of `T` elements. Table 1's
+    /// declarations map onto this (arrays of shared data are regions
+    /// indexed through the pointer).
+    SharedPtr(Box<Ty>),
+    /// A named struct (flat: all fields are one word).
+    Struct(String),
+}
+
+impl Ty {
+    /// Whether values of this type are region handles.
+    pub fn is_shared_ptr(&self) -> bool {
+        matches!(self, Ty::SharedPtr(_))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// An expression, annotated with its line for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// The expression node.
+    pub kind: ExprKind,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Expression nodes.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (protocol names only).
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// `base[index]` — local array access or shared region access,
+    /// resolved during type checking.
+    Index(Box<Expr>, Box<Expr>),
+    /// `ptr->field` on a `shared struct*`.
+    Member(Box<Expr>, String),
+    /// `*ptr` (shorthand for `ptr[0]`).
+    Deref(Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// `(ty) expr` — explicit cast (int↔double, int↔shared pointer).
+    Cast(Ty, Box<Expr>),
+}
+
+/// An l-value (assignment target).
+#[derive(Debug, Clone)]
+pub enum LValue {
+    /// Local scalar variable.
+    Var(String),
+    /// `base[index]` (local array or shared region).
+    Index(Box<Expr>, Box<Expr>),
+    /// `ptr->field`.
+    Member(Box<Expr>, String),
+    /// `*ptr`.
+    Deref(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `ty name = init;` or `ty name[len];`
+    Decl { ty: Ty, name: String, array_len: Option<usize>, init: Option<Expr>, line: u32 },
+    /// `lhs = rhs;`
+    Assign { lhs: LValue, rhs: Expr, line: u32 },
+    /// An expression evaluated for effect (calls).
+    Expr(Expr),
+    /// `if (c) { .. } else { .. }`
+    If { cond: Expr, then_blk: Vec<Stmt>, else_blk: Vec<Stmt> },
+    /// `while (c) { .. }`
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for (init; cond; step) { .. }`
+    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt> },
+    /// `return e;`
+    Return(Option<Expr>, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// Function name (`main` is the SPMD entry point).
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters.
+    pub params: Vec<(Ty, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Definition line.
+    pub line: u32,
+}
+
+/// A struct definition (flat word-sized fields).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Field (type, name) pairs; each field occupies one word.
+    pub fields: Vec<(Ty, String)>,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Unit {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Function definitions.
+    pub funcs: Vec<Func>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_ptr_detection() {
+        assert!(Ty::SharedPtr(Box::new(Ty::Double)).is_shared_ptr());
+        assert!(!Ty::Int.is_shared_ptr());
+        assert!(!Ty::Space.is_shared_ptr());
+    }
+}

@@ -1,0 +1,192 @@
+//! The system configuration file (Figure 1's output).
+//!
+//! The paper registers protocols with a Tcl script that writes a "system
+//! configuration file ... used by the Ace compiler to determine the
+//! protocols available and the names of the functions used by the
+//! protocol". We keep the same information and a textual form close to
+//! Figure 1:
+//!
+//! ```text
+//! protocol Update {
+//!     StartRead  null
+//!     EndRead    null
+//!     StartWrite defined
+//!     EndWrite   defined
+//!     Barrier    defined
+//!     Lock       default
+//!     Unlock     default
+//!     Optimizable yes
+//! }
+//! ```
+//!
+//! [`SystemConfig::builtin`] generates the file from the live protocol
+//! registry, then parses it back — so the compiler consumes exactly the
+//! declared metadata, as in the paper's toolchain.
+
+use std::collections::HashMap;
+
+use ace_core::Actions;
+use ace_protocols::registry::{all_protocols, ProtocolInfo};
+use ace_protocols::ProtoSpec;
+
+/// Compiler-visible registration record for one protocol.
+#[derive(Debug, Clone)]
+pub struct ProtoEntry {
+    /// The protocol selector.
+    pub spec: ProtoSpec,
+    /// Whether the compiler may move/merge its calls.
+    pub optimizable: bool,
+    /// Hooks declared null.
+    pub null_actions: Actions,
+}
+
+/// The parsed system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    entries: HashMap<String, ProtoEntry>,
+}
+
+impl SystemConfig {
+    /// Render a configuration file for the given registry entries.
+    pub fn render(infos: &[ProtocolInfo]) -> String {
+        let mut out = String::new();
+        let point = |n: Actions, bit: Actions| if n.contains(bit) { "null" } else { "defined" };
+        for info in infos {
+            out.push_str(&format!("protocol {} {{\n", info.name));
+            let n = info.null_actions;
+            out.push_str(&format!("    Map        {}\n", point(n, Actions::MAP)));
+            out.push_str(&format!("    Unmap      {}\n", point(n, Actions::UNMAP)));
+            out.push_str(&format!("    StartRead  {}\n", point(n, Actions::START_READ)));
+            out.push_str(&format!("    EndRead    {}\n", point(n, Actions::END_READ)));
+            out.push_str(&format!("    StartWrite {}\n", point(n, Actions::START_WRITE)));
+            out.push_str(&format!("    EndWrite   {}\n", point(n, Actions::END_WRITE)));
+            out.push_str(&format!("    Barrier    {}\n", point(n, Actions::BARRIER)));
+            out.push_str(&format!("    Lock       {}\n", point(n, Actions::LOCK)));
+            out.push_str(&format!("    Unlock     {}\n", point(n, Actions::UNLOCK)));
+            out.push_str(&format!(
+                "    Optimizable {}\n",
+                if info.optimizable { "yes" } else { "no" }
+            ));
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parse a configuration file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed lines or unknown protocol names.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = HashMap::new();
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        while let Some(line) = lines.next() {
+            let Some(rest) = line.strip_prefix("protocol ") else {
+                return Err(format!("expected 'protocol NAME {{', found '{line}'"));
+            };
+            let name = rest.trim_end_matches('{').trim().to_string();
+            let spec = ProtoSpec::by_name(&name)
+                .ok_or_else(|| format!("unknown protocol '{name}' in configuration"))?;
+            let mut null_actions = Actions::empty();
+            let mut optimizable = false;
+            loop {
+                let Some(body) = lines.next() else {
+                    return Err(format!("unterminated protocol block for {name}"));
+                };
+                if body == "}" {
+                    break;
+                }
+                let mut it = body.split_whitespace();
+                let key = it.next().unwrap_or("");
+                let val = it.next().unwrap_or("");
+                let bit = match key {
+                    "Map" => Some(Actions::MAP),
+                    "Unmap" => Some(Actions::UNMAP),
+                    "StartRead" => Some(Actions::START_READ),
+                    "EndRead" => Some(Actions::END_READ),
+                    "StartWrite" => Some(Actions::START_WRITE),
+                    "EndWrite" => Some(Actions::END_WRITE),
+                    "Barrier" => Some(Actions::BARRIER),
+                    "Lock" => Some(Actions::LOCK),
+                    "Unlock" => Some(Actions::UNLOCK),
+                    "Optimizable" => {
+                        optimizable = val == "yes";
+                        None
+                    }
+                    other => return Err(format!("unknown point '{other}' in protocol {name}")),
+                };
+                if let Some(bit) = bit {
+                    if val == "null" {
+                        null_actions = null_actions.union(bit);
+                    }
+                }
+            }
+            entries.insert(name, ProtoEntry { spec, optimizable, null_actions });
+        }
+        Ok(SystemConfig { entries })
+    }
+
+    /// The configuration generated from the live registry — what the
+    /// benchmarks compile against.
+    pub fn builtin() -> Self {
+        Self::parse(&Self::render(&all_protocols())).expect("builtin registry renders validly")
+    }
+
+    /// Look up a protocol by registered name.
+    pub fn get(&self, name: &str) -> Option<&ProtoEntry> {
+        self.entries.get(name)
+    }
+
+    /// Look up by spec.
+    pub fn by_spec(&self, spec: ProtoSpec) -> Option<&ProtoEntry> {
+        self.entries.values().find(|e| e.spec == spec)
+    }
+
+    /// Whether `spec` is registered optimizable.
+    pub fn optimizable(&self, spec: ProtoSpec) -> bool {
+        self.by_spec(spec).map(|e| e.optimizable).unwrap_or(false)
+    }
+
+    /// Null-action mask for `spec`.
+    pub fn null_actions(&self, spec: ProtoSpec) -> Actions {
+        self.by_spec(spec).map(|e| e.null_actions).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_round_trips() {
+        let cfg = SystemConfig::builtin();
+        assert!(!cfg.optimizable(ProtoSpec::Sc));
+        assert!(cfg.optimizable(ProtoSpec::StaticUpdate));
+        assert!(cfg.null_actions(ProtoSpec::StaticUpdate).contains(Actions::START_READ));
+        assert!(cfg.get("SC").is_some());
+        assert!(cfg.get("Nope").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_protocol() {
+        assert!(SystemConfig::parse("protocol Bogus {\n}\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_point() {
+        let r = SystemConfig::parse("protocol SC {\nFlurb null\n}\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn figure1_style_entry() {
+        let cfg = SystemConfig::parse(
+            "protocol Update {\nStartRead null\nEndRead null\nOptimizable yes\n}\n",
+        )
+        .unwrap();
+        let e = cfg.get("Update").unwrap();
+        assert!(e.optimizable);
+        assert!(e.null_actions.contains(Actions::START_READ));
+        assert!(!e.null_actions.contains(Actions::END_WRITE));
+    }
+}

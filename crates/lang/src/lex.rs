@@ -1,0 +1,295 @@
+//! Lexer for Ace-C.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals & identifiers
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwDouble,
+    KwVoid,
+    KwSpace,
+    KwShared,
+    KwStruct,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Arrow,
+    Eof,
+}
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone)]
+pub struct Sp {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenize Ace-C source.
+///
+/// # Errors
+///
+/// Returns a message naming the offending character and line.
+pub fn lex(src: &str) -> Result<Vec<Sp>, String> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < b.len()
+                    && b[i] == b'.'
+                    && i + 1 < b.len()
+                    && b[i + 1].is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                        i += 1;
+                        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                            i += 1;
+                        }
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    let text = &src[start..i];
+                    let v: f64 =
+                        text.parse().map_err(|_| format!("line {line}: bad float '{text}'"))?;
+                    out.push(Sp { tok: Tok::Float(v), line });
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 =
+                        text.parse().map_err(|_| format!("line {line}: bad int '{text}'"))?;
+                    out.push(Sp { tok: Tok::Int(v), line });
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "double" => Tok::KwDouble,
+                    "void" => Tok::KwVoid,
+                    "space" => Tok::KwSpace,
+                    "shared" => Tok::KwShared,
+                    "struct" => Tok::KwStruct,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Sp { tok, line });
+            }
+            '"' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && b[i] != b'"' {
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(format!("line {line}: unterminated string"));
+                }
+                out.push(Sp { tok: Tok::Str(src[start..i].to_string()), line });
+                i += 1;
+            }
+            _ => {
+                let two = |a: u8, b2: u8| i + 1 < b.len() && b[i] == a && b[i + 1] == b2;
+                let (tok, adv) = if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else {
+                    let t = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ',' => Tok::Comma,
+                        ';' => Tok::Semi,
+                        '*' => Tok::Star,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '=' => Tok::Assign,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '!' => Tok::Not,
+                        other => return Err(format!("line {line}: unexpected character '{other}'")),
+                    };
+                    (t, 1)
+                };
+                out.push(Sp { tok, line });
+                i += adv;
+            }
+        }
+    }
+    out.push(Sp { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("shared int *p;"),
+            vec![
+                Tok::KwShared,
+                Tok::KwInt,
+                Tok::Star,
+                Tok::Ident("p".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 3.5 1e3"), vec![
+            Tok::Int(42),
+            Tok::Float(3.5),
+            Tok::Int(1),
+            Tok::Ident("e3".into()),
+            Tok::Eof
+        ]);
+        assert_eq!(toks("2.5e-2"), vec![Tok::Float(0.025), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a->b == c != d <= e >= f && g || !h"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Eq,
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Ident("d".into()),
+                Tok::Le,
+                Tok::Ident("e".into()),
+                Tok::Ge,
+                Tok::Ident("f".into()),
+                Tok::AndAnd,
+                Tok::Ident("g".into()),
+                Tok::OrOr,
+                Tok::Not,
+                Tok::Ident("h".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        assert_eq!(
+            toks("// line\nx /* block\nspanning */ \"Update\""),
+            vec![Tok::Ident("x".into()), Tok::Str("Update".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let sp = lex("a\nb\n\nc").unwrap();
+        assert_eq!(sp[0].line, 1);
+        assert_eq!(sp[1].line, 2);
+        assert_eq!(sp[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Direct dispatch (§4.2, "Avoiding Dispatching Overhead").
+//!
+//! "If the compiler can determine that there is a unique protocol
+//! associated with an access, it replaces calls to Ace protocol dispatch
+//! routines ... with direct calls to the appropriate protocol routine.
+//! ... In addition, if a protocol defines certain actions to be null,
+//! then calls to that protocol action can be removed."
+//!
+//! `Map` calls are rewritten to direct mode (skipping the dispatch) but
+//! never removed — the id-to-mapping translation is still required.
+
+use ace_core::Actions;
+
+use crate::analysis::Facts;
+use crate::config::SystemConfig;
+use crate::ir::*;
+
+/// Run the pass over every function.
+pub fn run(prog: &mut Program, facts: &Facts, cfg: &SystemConfig) {
+    for f in &mut prog.funcs {
+        for b in &mut f.blocks {
+            b.insts.retain_mut(|inst| {
+                let (aid, action, removable) = match inst {
+                    Inst::Map { aid, .. } => (*aid, Actions::MAP, false),
+                    Inst::StartRead { aid, .. } => (*aid, Actions::START_READ, true),
+                    Inst::EndRead { aid, .. } => (*aid, Actions::END_READ, true),
+                    Inst::StartWrite { aid, .. } => (*aid, Actions::START_WRITE, true),
+                    Inst::EndWrite { aid, .. } => (*aid, Actions::END_WRITE, true),
+                    Inst::Lock { aid, .. } => (*aid, Actions::LOCK, true),
+                    Inst::Unlock { aid, .. } => (*aid, Actions::UNLOCK, true),
+                    _ => return true,
+                };
+                let Some(p) = facts.unique_protocol(aid) else { return true };
+                let mode = if removable && cfg.null_actions(p).contains(action) {
+                    DispatchMode::Removed
+                } else {
+                    DispatchMode::Direct(p)
+                };
+                match mode {
+                    DispatchMode::Removed => false, // delete the call
+                    m => {
+                        set_mode(inst, m);
+                        true
+                    }
+                }
+            });
+        }
+    }
+}
+
+fn set_mode(inst: &mut Inst, m: DispatchMode) {
+    match inst {
+        Inst::Map { mode, .. }
+        | Inst::StartRead { mode, .. }
+        | Inst::EndRead { mode, .. }
+        | Inst::StartWrite { mode, .. }
+        | Inst::EndWrite { mode, .. }
+        | Inst::Lock { mode, .. }
+        | Inst::Unlock { mode, .. } => *mode = m,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SystemConfig;
+    use crate::{compile, OptLevel};
+    use ace_core::{run_ace, CostModel};
+
+    #[test]
+    fn static_update_reads_are_removed() {
+        // Under StaticUpdate, Start/EndRead are null: the direct pass
+        // deletes them wholesale (the paper's big EM3D win).
+        let src = r#"
+            double main() {
+                space s = new_space("StaticUpdate");
+                shared double *v = (shared double*) gmalloc(s, 4);
+                v[0] = 2.0;
+                double out = v[0] + v[1];
+                barrier(s);
+                return out;
+            }
+        "#;
+        let cfg = SystemConfig::builtin();
+        let p = compile(src, &cfg, OptLevel::Direct).unwrap();
+        let (d, di, _rm) = p.annotation_stats();
+        assert_eq!(d, 0, "every annotation is statically resolved");
+        let r = run_ace(1, CostModel::free(), |rt| {
+            let v = crate::vm::run_program(rt, &p).unwrap().as_f();
+            let c = rt.counters();
+            (v, c.start_reads, c.dispatched, c.direct)
+        });
+        let (v, sr, disp, dir) = r.results[0];
+        assert_eq!(v, 2.0);
+        assert_eq!(sr, 0, "null read hooks removed entirely");
+        assert_eq!(disp, 0, "nothing dispatches through the space");
+        assert!(dir > 0, "remaining annotations go direct: {dir}");
+        let _ = di;
+    }
+
+    #[test]
+    fn sc_access_stays_dispatched() {
+        let src = r#"
+            double main() {
+                space s = new_space("SC");
+                shared double *v = (shared double*) gmalloc(s, 1);
+                v[0] = 1.5;
+                return v[0];
+            }
+        "#;
+        let cfg = SystemConfig::builtin();
+        let p = compile(src, &cfg, OptLevel::Direct).unwrap();
+        let r = run_ace(1, CostModel::free(), |rt| {
+            let v = crate::vm::run_program(rt, &p).unwrap().as_f();
+            (v, rt.counters().dispatched, rt.counters().direct)
+        });
+        let (v, disp, dir) = r.results[0];
+        assert_eq!(v, 1.5);
+        // SC is the unique protocol, so calls still go DIRECT (that is
+        // legal — uniqueness, not optimizability, gates direct dispatch),
+        // but none are removed because SC declares no null actions.
+        assert!(disp == 0 && dir > 0, "disp={disp} dir={dir}");
+    }
+
+    #[test]
+    fn ambiguous_protocol_stays_dispatched() {
+        let src = r#"
+            double main() {
+                space a = new_space("SC");
+                space b = new_space("Null");
+                shared double *x;
+                if (rank() == 0) { x = (shared double*) gmalloc(a, 1); }
+                else { x = (shared double*) gmalloc(b, 1); }
+                x[0] = 1.0;
+                return x[0];
+            }
+        "#;
+        let cfg = SystemConfig::builtin();
+        let p = compile(src, &cfg, OptLevel::Direct).unwrap();
+        let r = run_ace(1, CostModel::free(), |rt| {
+            crate::vm::run_program(rt, &p).unwrap().as_f();
+            rt.counters().dispatched
+        });
+        assert!(r.results[0] > 0, "two possible protocols forbid direct dispatch");
+    }
+
+    #[test]
+    fn fetchadd_unlock_removed() {
+        let src = r#"
+            void main() {
+                space s = new_space("FetchAdd");
+                shared int *c = (shared int*) gmalloc(s, 1);
+                lock(c);
+                int t = c[0];
+                c[0] = t + 1;
+                unlock(c);
+            }
+        "#;
+        let cfg = SystemConfig::builtin();
+        let p = compile(src, &cfg, OptLevel::Direct).unwrap();
+        // unlock + the null read/write hooks disappear; lock stays.
+        let has_unlock = p.funcs.iter().any(|f| {
+            f.blocks.iter().any(|b| {
+                b.insts.iter().any(|i| matches!(i, crate::ir::Inst::Unlock { .. }))
+            })
+        });
+        let has_lock = p.funcs.iter().any(|f| {
+            f.blocks
+                .iter()
+                .any(|b| b.insts.iter().any(|i| matches!(i, crate::ir::Inst::Lock { .. })))
+        });
+        assert!(!has_unlock, "null unlock must be removed");
+        assert!(has_lock, "lock is the protocol's real action");
+    }
+}

@@ -1,0 +1,415 @@
+//! Moving calls out of loops (§4.2).
+//!
+//! "Once the set of protocols associated with each access is determined,
+//! we perform loop invariance analysis on the arguments of calls to
+//! protocol routines to identify the calls that can be moved out of loops.
+//! `ACE_MAP` and `ACE_START_*` calls are moved above a loop, while
+//! `ACE_END_*` calls are moved below a loop. This optimization is
+//! performed only if all the possible protocols of an access are
+//! optimizable."
+//!
+//! A candidate access's `Map`/`Start`/`End` must all sit inside the loop;
+//! the mapped handle must be loop-invariant (a constant, a value defined
+//! outside the loop, or a load of a local that the loop never stores);
+//! the loop must contain no synchronization; and the loop must have a
+//! unique exit block whose predecessors are all inside the loop (so the
+//! sunk `End` runs exactly when the loop ran).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::Facts;
+use crate::config::SystemConfig;
+use crate::ir::*;
+
+/// Run the pass over every function.
+pub fn run(prog: &mut Program, facts: &Facts, cfg: &SystemConfig) {
+    for f in &mut prog.funcs {
+        // Hoist repeatedly: after one loop's candidates move, outer loops
+        // may expose further opportunities. Bounded by the access count.
+        for _ in 0..64 {
+            if !hoist_one(f, facts, cfg) {
+                break;
+            }
+        }
+    }
+}
+
+fn successors(t: &Term) -> Vec<BlockId> {
+    match t {
+        Term::Jump(b) => vec![*b],
+        Term::Br { t, f, .. } => vec![*t, *f],
+        Term::Ret(_) => vec![],
+    }
+}
+
+/// Compute dominators (simple iterative bit-set algorithm).
+fn dominators(f: &IFunc) -> Vec<HashSet<BlockId>> {
+    let n = f.blocks.len();
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for (b, blk) in f.blocks.iter().enumerate() {
+        for s in successors(&blk.term) {
+            preds[s].push(b);
+        }
+    }
+    let all: HashSet<BlockId> = (0..n).collect();
+    let mut dom: Vec<HashSet<BlockId>> = vec![all.clone(); n];
+    dom[0] = HashSet::from([0]);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            let mut newd: Option<HashSet<BlockId>> = None;
+            for &p in &preds[b] {
+                newd = Some(match newd {
+                    None => dom[p].clone(),
+                    Some(acc) => acc.intersection(&dom[p]).copied().collect(),
+                });
+            }
+            let mut newd = newd.unwrap_or_default();
+            newd.insert(b);
+            if newd != dom[b] {
+                dom[b] = newd;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// All natural loops, as (header, body-set), innermost (smallest) first.
+fn natural_loops(f: &IFunc) -> Vec<(BlockId, HashSet<BlockId>)> {
+    let dom = dominators(f);
+    let mut loops: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+    for (b, blk) in f.blocks.iter().enumerate() {
+        for s in successors(&blk.term) {
+            if dom[b].contains(&s) {
+                // back edge b -> s
+                let body = loops.entry(s).or_default();
+                body.insert(s);
+                // walk predecessors from b up to the header
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if body.insert(x) {
+                        for (p, pb) in f.blocks.iter().enumerate() {
+                            if successors(&pb.term).contains(&x) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut v: Vec<_> = loops.into_iter().collect();
+    v.sort_by_key(|(h, body)| (body.len(), *h));
+    v
+}
+
+/// The instruction that defines `reg` in `f`, if any (vregs are
+/// single-assignment by construction of the lowering).
+fn def_site(f: &IFunc, reg: VReg) -> Option<(BlockId, usize)> {
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            let d = match inst {
+                Inst::ConstI(d, _) | Inst::ConstF(d, _) => Some(*d),
+                Inst::BinOp { dst, .. }
+                | Inst::Neg { dst, .. }
+                | Inst::Not { dst, .. }
+                | Inst::IntToF { dst, .. }
+                | Inst::FToInt { dst, .. }
+                | Inst::Mov { dst, .. }
+                | Inst::LoadLocal { dst, .. }
+                | Inst::LoadArr { dst, .. }
+                | Inst::Map { dst, .. }
+                | Inst::GLoad { dst, .. } => Some(*dst),
+                Inst::Call { dst, .. } | Inst::Intrinsic { dst, .. } => *dst,
+                _ => None,
+            };
+            if d == Some(reg) {
+                return Some((bi, ii));
+            }
+        }
+    }
+    None
+}
+
+fn hoist_one(f: &mut IFunc, facts: &Facts, cfg: &SystemConfig) -> bool {
+    let loops = natural_loops(f);
+    for (header, body) in loops {
+        if header == 0 {
+            // The entry block cannot get a preheader.
+            continue;
+        }
+        // No synchronization inside the loop.
+        let has_sync =
+            body.iter().any(|&b| f.blocks[b].insts.iter().any(|i| i.is_sync()));
+        if has_sync {
+            continue;
+        }
+        // Unique exit target with all predecessors inside the loop.
+        let mut exits: HashSet<BlockId> = HashSet::new();
+        for &b in &body {
+            for s in successors(&f.blocks[b].term) {
+                if !body.contains(&s) {
+                    exits.insert(s);
+                }
+            }
+        }
+        if exits.len() != 1 {
+            continue;
+        }
+        let exit = *exits.iter().next().unwrap();
+        let exit_preds_ok = (0..f.blocks.len()).all(|p| {
+            !successors(&f.blocks[p].term).contains(&exit) || body.contains(&p)
+        });
+        if !exit_preds_ok {
+            continue;
+        }
+
+        // Locals stored anywhere in the loop are not invariant.
+        let mut stored: HashSet<u32> = HashSet::new();
+        for &b in &body {
+            for i in &f.blocks[b].insts {
+                match i {
+                    Inst::StoreLocal { slot, .. } | Inst::StoreArr { slot, .. } => {
+                        stored.insert(*slot);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Candidate accesses: full triple inside the loop, invariant
+        // handle, all protocols optimizable.
+        let sites = super::index_accesses(f);
+        let mut moved_any = false;
+        let mut plan: Vec<(AccessId, super::AccessSites, Option<(BlockId, usize)>)> = Vec::new();
+        for (aid, s) in &sites {
+            let (Some(m), Some(st), Some(en)) = (s.map, s.start, s.end) else { continue };
+            if !(body.contains(&m.0) && body.contains(&st.0) && body.contains(&en.0)) {
+                continue;
+            }
+            if !facts.all_optimizable(*aid, cfg) {
+                continue;
+            }
+            let Inst::Map { handle, .. } = f.blocks[m.0].insts[m.1] else { continue };
+            // Invariance: defined outside the loop, or an in-loop
+            // LoadLocal/ConstI of an unstored slot we can clone out.
+            let hoist_def = match def_site(f, handle) {
+                None => None, // parameter-like: defined outside, fine
+                Some((db, di)) => {
+                    if !body.contains(&db) {
+                        None
+                    } else {
+                        match &f.blocks[db].insts[di] {
+                            Inst::LoadLocal { slot, .. } if !stored.contains(slot) => {
+                                Some((db, di))
+                            }
+                            Inst::ConstI(..) | Inst::ConstF(..) => Some((db, di)),
+                            _ => continue,
+                        }
+                    }
+                }
+            };
+            plan.push((*aid, s.clone(), hoist_def));
+        }
+        if plan.is_empty() {
+            continue;
+        }
+
+        // Build the preheader (appended; indices stay stable) and retarget
+        // out-of-loop edges into the header.
+        let pre = f.blocks.len();
+        f.blocks.push(Block { insts: Vec::new(), term: Term::Jump(header) });
+        for b in 0..pre {
+            if body.contains(&b) {
+                continue;
+            }
+            retarget(&mut f.blocks[b].term, header, pre);
+        }
+
+        // Move instructions. Collect them (by identity) first, then delete.
+        let mut to_pre: Vec<Inst> = Vec::new();
+        let mut to_exit: Vec<Inst> = Vec::new();
+        let mut delete: Vec<(BlockId, usize)> = Vec::new();
+        for (_aid, s, hoist_def) in &plan {
+            if let Some((db, di)) = hoist_def {
+                to_pre.push(f.blocks[*db].insts[*di].clone());
+                delete.push((*db, *di));
+            }
+            let (mb, mi) = s.map.unwrap();
+            to_pre.push(f.blocks[mb].insts[mi].clone());
+            delete.push((mb, mi));
+            let (sb, si) = s.start.unwrap();
+            to_pre.push(f.blocks[sb].insts[si].clone());
+            delete.push((sb, si));
+            let (eb, ei) = s.end.unwrap();
+            to_exit.push(f.blocks[eb].insts[ei].clone());
+            delete.push((eb, ei));
+            moved_any = true;
+        }
+        // Delete in descending index order per block.
+        delete.sort_by(|a, b| (a.0, std::cmp::Reverse(a.1)).cmp(&(b.0, std::cmp::Reverse(b.1))));
+        for (b, i) in delete {
+            f.blocks[b].insts.remove(i);
+        }
+        f.blocks[pre].insts = to_pre;
+        for (k, e) in to_exit.into_iter().enumerate() {
+            f.blocks[exit].insts.insert(k, e);
+        }
+        if moved_any {
+            return true;
+        }
+    }
+    false
+}
+
+fn retarget(t: &mut Term, from: BlockId, to: BlockId) {
+    match t {
+        Term::Jump(b) => {
+            if *b == from {
+                *b = to;
+            }
+        }
+        Term::Br { t, f, .. } => {
+            if *t == from {
+                *t = to;
+            }
+            if *f == from {
+                *f = to;
+            }
+        }
+        Term::Ret(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SystemConfig;
+    use crate::ir::Inst;
+    use crate::{compile, OptLevel};
+
+    /// Count annotations inside loop bodies by compiling at O0 vs LICM.
+    fn annotation_count(src: &str, level: OptLevel) -> usize {
+        let cfg = SystemConfig::builtin();
+        let p = compile(src, &cfg, level).unwrap();
+        p.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .flat_map(|b| &b.insts)
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Map { .. }
+                        | Inst::StartRead { .. }
+                        | Inst::EndRead { .. }
+                        | Inst::StartWrite { .. }
+                        | Inst::EndWrite { .. }
+                )
+            })
+            .count()
+    }
+
+    const HOISTABLE: &str = r#"
+        void main() {
+            space s = new_space("Update");
+            shared double *v = (shared double*) gmalloc(s, 16);
+            int i;
+            double acc = 0.0;
+            for (i = 0; i < 16; i = i + 1) {
+                acc = acc + v[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn static_count_unchanged_but_moved() {
+        // LICM moves, it does not delete: the same number of annotation
+        // instructions exist before and after.
+        assert_eq!(
+            annotation_count(HOISTABLE, OptLevel::O0),
+            annotation_count(HOISTABLE, OptLevel::Licm)
+        );
+    }
+
+    #[test]
+    fn hoisted_access_leaves_the_loop() {
+        // Run both versions and compare *dynamic* start counts: at O0 the
+        // loop dispatches 16 start_reads; after LICM exactly 1.
+        use ace_core::{run_ace, CostModel};
+        let cfg = SystemConfig::builtin();
+        let p0 = compile(HOISTABLE, &cfg, OptLevel::O0).unwrap();
+        let p1 = compile(HOISTABLE, &cfg, OptLevel::Licm).unwrap();
+        let c0 = run_ace(1, CostModel::free(), |rt| {
+            crate::vm::run_program(rt, &p0);
+            rt.counters().start_reads
+        });
+        let c1 = run_ace(1, CostModel::free(), |rt| {
+            crate::vm::run_program(rt, &p1);
+            rt.counters().start_reads
+        });
+        assert_eq!(c0.results[0], 16);
+        assert_eq!(c1.results[0], 1);
+    }
+
+    #[test]
+    fn non_optimizable_protocol_blocks_hoisting() {
+        let sc = HOISTABLE.replace("Update", "SC");
+        use ace_core::{run_ace, CostModel};
+        let cfg = SystemConfig::builtin();
+        let p1 = compile(&sc, &cfg, OptLevel::Licm).unwrap();
+        let c1 = run_ace(1, CostModel::free(), |rt| {
+            crate::vm::run_program(rt, &p1);
+            rt.counters().start_reads
+        });
+        assert_eq!(c1.results[0], 16, "SC accesses must not be hoisted");
+    }
+
+    #[test]
+    fn sync_in_loop_blocks_hoisting() {
+        let src = r#"
+            void main() {
+                space s = new_space("Update");
+                shared double *v = (shared double*) gmalloc(s, 4);
+                int i;
+                double acc = 0.0;
+                for (i = 0; i < 4; i = i + 1) {
+                    acc = acc + v[0];
+                    barrier(s);
+                }
+            }
+        "#;
+        use ace_core::{run_ace, CostModel};
+        let cfg = SystemConfig::builtin();
+        let p1 = compile(src, &cfg, OptLevel::Licm).unwrap();
+        let c1 = run_ace(1, CostModel::free(), |rt| {
+            crate::vm::run_program(rt, &p1);
+            rt.counters().start_reads
+        });
+        assert_eq!(c1.results[0], 4, "barrier in loop must block hoisting");
+    }
+
+    #[test]
+    fn results_preserved_by_licm() {
+        let src = r#"
+            double main() {
+                space s = new_space("Update");
+                shared double *v = (shared double*) gmalloc(s, 8);
+                int i;
+                for (i = 0; i < 8; i = i + 1) { v[i] = i * 2.0; }
+                double acc = 0.0;
+                for (i = 0; i < 8; i = i + 1) { acc = acc + v[i]; }
+                return acc;
+            }
+        "#;
+        use ace_core::{run_ace, CostModel};
+        let cfg = SystemConfig::builtin();
+        for level in [OptLevel::O0, OptLevel::Licm] {
+            let p = compile(src, &cfg, level).unwrap();
+            let r = run_ace(1, CostModel::free(), |rt| {
+                crate::vm::run_program(rt, &p).unwrap().as_f()
+            });
+            assert_eq!(r.results[0], 56.0, "wrong result at {level:?}");
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Merging redundant protocol calls (§4.2, Figure 6).
+//!
+//! "We perform available expression analysis on each basic block on the
+//! arguments of `ACE_MAP` calls. Consider two `ACE_MAP` calls, M1 and M2.
+//! If the argument of M1 is the same as that of M2 and is available at
+//! M2, then we remove M2 and reuse the result of M1. Furthermore, if the
+//! protocol actions associated with the two `ACE_MAP`s are both reads or
+//! both writes, we use the highest `ACE_START_*`, and the lowest
+//! `ACE_END_*`, and remove the rest."
+//!
+//! Handle identity is resolved through block-local value numbering
+//! (constants, local loads of un-redefined slots, and register copies);
+//! merging never crosses a synchronization instruction.
+
+use std::collections::HashMap;
+
+use crate::analysis::Facts;
+use crate::config::SystemConfig;
+use crate::ir::*;
+
+/// Run the pass over every function.
+pub fn run(prog: &mut Program, facts: &Facts, cfg: &SystemConfig) {
+    for f in &mut prog.funcs {
+        // Merge maps first, collecting register renames, then apply the
+        // renames function-wide: uses of a removed map's result may live
+        // in other blocks (e.g. after LICM moved an access's Start/End).
+        let mut rename = HashMap::new();
+        for b in 0..f.blocks.len() {
+            merge_maps(f, b, facts, cfg, &mut rename);
+        }
+        if !rename.is_empty() {
+            for blk in &mut f.blocks {
+                for inst in &mut blk.insts {
+                    rename_operands(inst, &rename);
+                }
+            }
+        }
+        for b in 0..f.blocks.len() {
+            merge_sections(f, b, facts, cfg);
+        }
+    }
+}
+
+/// Block-local value numbering roots for map arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Root {
+    /// A load of local slot (not redefined since).
+    Slot(u32),
+    /// An integer constant.
+    ConstI(i64),
+    /// A register defined before this block (registers are
+    /// single-assignment, so identity works).
+    Reg(VReg),
+}
+
+fn merge_maps(
+    f: &mut IFunc,
+    b: BlockId,
+    facts: &Facts,
+    cfg: &SystemConfig,
+    rename: &mut HashMap<VReg, VReg>,
+) {
+    let mut roots: HashMap<VReg, Root> = HashMap::new();
+    let mut avail: HashMap<Root, VReg> = HashMap::new();
+    let mut keep: Vec<Inst> = Vec::new();
+
+    let block = std::mem::take(&mut f.blocks[b].insts);
+    for mut inst in block {
+        rename_operands(&mut inst, rename);
+        // Track roots before deciding.
+        match &inst {
+            Inst::ConstI(dst, v) => {
+                roots.insert(*dst, Root::ConstI(*v));
+            }
+            Inst::LoadLocal { dst, slot } => {
+                roots.insert(*dst, Root::Slot(*slot));
+            }
+            Inst::Mov { dst, a } => {
+                let r = roots.get(a).cloned().unwrap_or(Root::Reg(*a));
+                roots.insert(*dst, r);
+            }
+            Inst::StoreLocal { slot, .. } | Inst::StoreArr { slot, .. } => {
+                // Kill availability of loads from this slot.
+                let slot = *slot;
+                avail.retain(|r, _| *r != Root::Slot(slot));
+                roots.retain(|_, r| *r != Root::Slot(slot));
+            }
+            _ => {}
+        }
+        if inst.is_sync() {
+            // Conservative: a call might unmap; sync orders everything.
+            avail.clear();
+        }
+        if let Inst::Map { aid, dst, handle, .. } = &inst {
+            if facts.all_optimizable(*aid, cfg) {
+                let root = roots.get(handle).cloned().unwrap_or(Root::Reg(*handle));
+                if let Some(prev) = avail.get(&root) {
+                    // M2 removed; its result is M1's.
+                    rename.insert(*dst, *prev);
+                    continue;
+                }
+                avail.insert(root, *dst);
+            }
+        }
+        keep.push(inst);
+    }
+    f.blocks[b].insts = keep;
+}
+
+/// Merge `End_X(h) ... Start_X(h)` pairs (same mapped handle, same mode)
+/// with no synchronization or other section activity on `h` in between.
+fn merge_sections(f: &mut IFunc, b: BlockId, facts: &Facts, cfg: &SystemConfig) {
+    loop {
+        let insts = &f.blocks[b].insts;
+        let mut found: Option<(usize, usize)> = None;
+        'scan: for (i, inst) in insts.iter().enumerate() {
+            let (h1, write1, aid1) = match inst {
+                Inst::EndRead { aid, handle, .. } => (*handle, false, *aid),
+                Inst::EndWrite { aid, handle, .. } => (*handle, true, *aid),
+                _ => continue,
+            };
+            if !facts.all_optimizable(aid1, cfg) {
+                continue;
+            }
+            for (j, later) in insts.iter().enumerate().skip(i + 1) {
+                if later.is_sync() {
+                    continue 'scan;
+                }
+                match later {
+                    Inst::StartRead { aid, handle, .. } if *handle == h1 && !write1 => {
+                        if facts.all_optimizable(*aid, cfg) {
+                            found = Some((i, j));
+                        }
+                        break 'scan;
+                    }
+                    Inst::StartWrite { aid, handle, .. } if *handle == h1 && write1 => {
+                        if facts.all_optimizable(*aid, cfg) {
+                            found = Some((i, j));
+                        }
+                        break 'scan;
+                    }
+                    // Any other section activity on the same handle blocks
+                    // the merge.
+                    Inst::StartRead { handle, .. }
+                    | Inst::StartWrite { handle, .. }
+                    | Inst::EndRead { handle, .. }
+                    | Inst::EndWrite { handle, .. }
+                        if *handle == h1 =>
+                    {
+                        continue 'scan;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match found {
+            Some((i, j)) => {
+                // Remove the Start first (higher index), then the End.
+                f.blocks[b].insts.remove(j);
+                f.blocks[b].insts.remove(i);
+            }
+            None => break,
+        }
+    }
+}
+
+fn rename_operands(inst: &mut Inst, rename: &HashMap<VReg, VReg>) {
+    let f = |r: &mut VReg| {
+        if let Some(n) = rename.get(r) {
+            *r = *n;
+        }
+    };
+    match inst {
+        Inst::ConstI(..) | Inst::ConstF(..) => {}
+        Inst::BinOp { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Inst::Neg { a, .. } | Inst::Not { a, .. } | Inst::IntToF { a, .. }
+        | Inst::FToInt { a, .. } | Inst::Mov { a, .. } => f(a),
+        Inst::LoadLocal { .. } => {}
+        Inst::StoreLocal { a, .. } => f(a),
+        Inst::LoadArr { idx, .. } => f(idx),
+        Inst::StoreArr { idx, a, .. } => {
+            f(idx);
+            f(a);
+        }
+        Inst::Map { handle, .. } => f(handle),
+        Inst::StartRead { handle, .. }
+        | Inst::EndRead { handle, .. }
+        | Inst::StartWrite { handle, .. }
+        | Inst::EndWrite { handle, .. }
+        | Inst::Lock { handle, .. }
+        | Inst::Unlock { handle, .. } => f(handle),
+        Inst::GLoad { handle, off, .. } => {
+            f(handle);
+            f(off);
+        }
+        Inst::GStore { handle, off, val } => {
+            f(handle);
+            f(off);
+            f(val);
+        }
+        Inst::Call { args, .. } | Inst::Intrinsic { args, .. } => {
+            for a in args {
+                f(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SystemConfig;
+    use crate::{compile, OptLevel};
+    use ace_core::{run_ace, CostModel};
+
+    /// Figure 6's pattern: two consecutive writes through related
+    /// pointers; merging removes the second map and fuses the sections.
+    const FIG6: &str = r#"
+        double main() {
+            space s = new_space("Update");
+            shared double *x = (shared double*) gmalloc(s, 2);
+            double y = 5.0;
+            x[0] = y;
+            x[1] = 4.0;
+            double out = x[0] + x[1];
+            return out;
+        }
+    "#;
+
+    fn dyn_counts(src: &str, level: OptLevel) -> (u64, u64, u64, f64) {
+        let cfg = SystemConfig::builtin();
+        let p = compile(src, &cfg, level).unwrap();
+        let r = run_ace(1, CostModel::free(), |rt| {
+            let v = crate::vm::run_program(rt, &p).unwrap().as_f();
+            let c = rt.counters();
+            (c.map_hits + c.map_misses, c.start_writes, c.ends, v)
+        });
+        r.results[0]
+    }
+
+    #[test]
+    fn figure6_merges_maps_and_sections() {
+        let (maps0, sw0, _e0, v0) = dyn_counts(FIG6, OptLevel::O0);
+        let (maps1, sw1, _e1, v1) = dyn_counts(FIG6, OptLevel::Merge);
+        assert_eq!(v0, 9.0);
+        assert_eq!(v1, 9.0, "merging must not change results");
+        assert!(maps1 < maps0, "maps should merge: {maps1} < {maps0}");
+        assert!(sw1 < sw0, "write sections should fuse: {sw1} < {sw0}");
+        assert_eq!(sw1, 1, "figure 6 fuses the two writes into one section");
+    }
+
+    #[test]
+    fn sc_protocol_blocks_merging() {
+        let sc = FIG6.replace("Update", "SC");
+        let (maps0, sw0, _, v0) = dyn_counts(&sc, OptLevel::O0);
+        let (maps1, sw1, _, v1) = dyn_counts(&sc, OptLevel::Merge);
+        assert_eq!(v0, v1);
+        assert_eq!(maps0, maps1, "SC maps must not merge");
+        assert_eq!(sw0, sw1, "SC sections must not fuse");
+    }
+
+    #[test]
+    fn lock_blocks_section_merge() {
+        let src = r#"
+            double main() {
+                space s = new_space("Update");
+                shared double *x = (shared double*) gmalloc(s, 1);
+                x[0] = 1.0;
+                lock(x);
+                x[0] = 2.0;
+                unlock(x);
+                return x[0];
+            }
+        "#;
+        let (_, sw, _, v) = dyn_counts(src, OptLevel::Merge);
+        assert_eq!(v, 2.0);
+        assert_eq!(sw, 2, "sections must not merge across a lock");
+    }
+
+    #[test]
+    fn read_and_write_sections_do_not_fuse() {
+        let src = r#"
+            double main() {
+                space s = new_space("Update");
+                shared double *x = (shared double*) gmalloc(s, 1);
+                x[0] = 2.5;
+                double v = x[0];
+                return v;
+            }
+        "#;
+        let (_, sw, _, v) = dyn_counts(src, OptLevel::Merge);
+        assert_eq!(v, 2.5);
+        assert_eq!(sw, 1, "a write and a read section stay distinct");
+    }
+
+    #[test]
+    fn store_kills_map_availability() {
+        // The handle local is reassigned between the accesses; the maps
+        // must not merge.
+        let src = r#"
+            double main() {
+                space s = new_space("Update");
+                shared double *x = (shared double*) gmalloc(s, 1);
+                shared double *y = (shared double*) gmalloc(s, 1);
+                x[0] = 1.0;
+                x = y;
+                x[0] = 2.0;
+                return x[0];
+            }
+        "#;
+        let (_, _, _, v) = dyn_counts(src, OptLevel::Merge);
+        assert_eq!(v, 2.0, "reassigned handle must hit the second region");
+    }
+}

@@ -1,0 +1,52 @@
+//! The three compiler optimizations of §4.2.
+//!
+//! All three are gated on the protocol registry: "We allow protocol
+//! writers to specify, when registering a protocol, whether a protocol's
+//! semantics allow optimizations" — an access is touched only if *every*
+//! protocol the dataflow says it might run under is optimizable, and
+//! "in all optimizations, code is never moved past synchronization calls".
+
+pub mod direct;
+pub mod licm;
+pub mod merge;
+
+use crate::ir::*;
+
+/// Collect, per block, the instruction positions of the annotation triple
+/// of an access id: (map, start, end).
+#[derive(Debug, Default, Clone)]
+pub struct AccessSites {
+    /// Block and index of the `Map`.
+    pub map: Option<(BlockId, usize)>,
+    /// Block and index of the `Start*`.
+    pub start: Option<(BlockId, usize)>,
+    /// Block and index of the `End*`.
+    pub end: Option<(BlockId, usize)>,
+    /// True if the access is a write.
+    pub is_write: bool,
+}
+
+/// Index every access's annotation positions in a function.
+pub fn index_accesses(f: &IFunc) -> std::collections::HashMap<AccessId, AccessSites> {
+    let mut out: std::collections::HashMap<AccessId, AccessSites> = Default::default();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            match inst {
+                Inst::Map { aid, .. } => out.entry(*aid).or_default().map = Some((bi, ii)),
+                Inst::StartRead { aid, .. } => {
+                    out.entry(*aid).or_default().start = Some((bi, ii))
+                }
+                Inst::StartWrite { aid, .. } => {
+                    let e = out.entry(*aid).or_default();
+                    e.start = Some((bi, ii));
+                    e.is_write = true;
+                }
+                Inst::EndRead { aid, .. } | Inst::EndWrite { aid, .. } => {
+                    out.entry(*aid).or_default().end = Some((bi, ii))
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,60 @@
+//! Message envelopes: what actually travels between nodes.
+
+/// Size accounting for simulated bandwidth charges.
+///
+/// Implemented by each runtime's message type. `size_bytes` should return
+/// the number of payload bytes the message would occupy on a real wire;
+/// the substrate adds [`HEADER_BYTES`] for the active-message header.
+pub trait MsgSize {
+    /// Payload size in bytes (excluding the fixed header).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Fixed per-message header charge: handler id, source, region id, opcode —
+/// roughly what a CM-5 active message packet carried.
+pub const HEADER_BYTES: usize = 20;
+
+/// A message in flight, stamped with the sender's identity and virtual
+/// clock at send time.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending node's rank.
+    pub src: usize,
+    /// Sender's virtual clock when the message was injected.
+    pub send_time: u64,
+    /// Payload bytes, captured at send time (so the receiver does not need
+    /// to re-measure the payload).
+    pub bytes: usize,
+    /// The message itself.
+    pub msg: M,
+}
+
+impl MsgSize for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl MsgSize for u64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl MsgSize for Vec<u64> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_sizes() {
+        assert_eq!(().size_bytes(), 0);
+        assert_eq!(7u64.size_bytes(), 8);
+        assert_eq!(vec![1u64, 2, 3].size_bytes(), 24);
+    }
+}

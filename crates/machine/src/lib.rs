@@ -1,0 +1,40 @@
+//! Active-message distributed-machine substrate.
+//!
+//! This crate simulates the distributed-memory machine the Ace paper ran on
+//! (a 32-node Thinking Machines CM-5 with Active Messages): a fixed set of
+//! *nodes*, each a single-threaded processor with private memory, that
+//! communicate **only** by sending typed messages to each other. Each node is
+//! an OS thread; the "network" is a set of crossbeam channels.
+//!
+//! Two kinds of time are tracked:
+//!
+//! * **wall time** — real elapsed time of the simulation, and
+//! * **simulated time** — a per-node virtual clock advanced by a
+//!   [`CostModel`]: computation charges issued by the runtime and
+//!   applications, plus message latency/bandwidth charges. Message envelopes
+//!   carry the sender's clock, and a receiving node's clock advances to
+//!   `max(local, send_time + latency + bytes * per_byte)`, so causality
+//!   propagates CM-5-like communication delays through the execution.
+//!
+//! The substrate is deliberately minimal: delivery order between a fixed
+//! pair of nodes is FIFO (channel order), there is no shared memory, and all
+//! higher-level behaviour (coherence protocols, barriers, locks) is built on
+//! top in `ace-core` / `ace-crl`.
+
+pub mod cost;
+pub mod envelope;
+pub mod node;
+pub mod pod;
+pub mod spmd;
+pub mod stats;
+
+pub use cost::CostModel;
+pub use envelope::{Envelope, MsgSize};
+pub use node::Node;
+pub use pod::Pod;
+pub use spmd::{run_spmd, SpmdResult};
+pub use stats::{MachineStats, NodeStats};
+
+/// Maximum number of simulated processors. Sharer sets in the protocol
+/// layers are 64-bit bitmasks, so the substrate enforces the same limit.
+pub const MAX_NODES: usize = 64;

@@ -1,0 +1,282 @@
+//! A simulated processor: rank, message endpoints, virtual clock, counters.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+
+use crate::cost::CostModel;
+use crate::envelope::{Envelope, MsgSize, HEADER_BYTES};
+use crate::stats::NodeStats;
+
+/// How long a blocked node waits before concluding the run is wedged.
+/// Protocol bugs in a message-passing system manifest as silent hangs; the
+/// watchdog converts them into a panic with the caller-provided diagnostic.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+/// One simulated processor.
+///
+/// A `Node` is owned by exactly one OS thread and is deliberately `!Sync`:
+/// everything inside uses `Cell`/`RefCell`. The only cross-thread objects
+/// are the channel endpoints.
+pub struct Node<M> {
+    rank: usize,
+    nprocs: usize,
+    rx: Receiver<Envelope<M>>,
+    txs: Arc<Vec<Sender<Envelope<M>>>>,
+    cost: Arc<CostModel>,
+    clock: Cell<u64>,
+    stats: RefCell<NodeStats>,
+    watchdog: Cell<Duration>,
+}
+
+impl<M: MsgSize + Send> Node<M> {
+    pub(crate) fn new(
+        rank: usize,
+        nprocs: usize,
+        rx: Receiver<Envelope<M>>,
+        txs: Arc<Vec<Sender<Envelope<M>>>>,
+        cost: Arc<CostModel>,
+    ) -> Self {
+        Node {
+            rank,
+            nprocs,
+            rx,
+            txs,
+            cost,
+            clock: Cell::new(0),
+            stats: RefCell::new(NodeStats::default()),
+            watchdog: Cell::new(DEFAULT_WATCHDOG),
+        }
+    }
+
+    /// This node's rank in `0..nprocs`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current virtual clock in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.clock.get()
+    }
+
+    /// Advance the virtual clock by a computation charge.
+    pub fn charge(&self, ns: u64) {
+        self.clock.set(self.clock.get() + ns);
+    }
+
+    /// Override the hang watchdog (tests use short values).
+    pub fn set_watchdog(&self, d: Duration) {
+        self.watchdog.set(d);
+    }
+
+    /// Inject a message to `dst`. Charges send overhead and records stats.
+    /// Sending to self is allowed (the message is delivered via the normal
+    /// polling path, like a loopback active message).
+    pub fn send(&self, dst: usize, msg: M) {
+        debug_assert!(dst < self.nprocs, "send to nonexistent node {dst}");
+        self.charge(self.cost.send_overhead);
+        let bytes = msg.size_bytes() + HEADER_BYTES;
+        {
+            let mut s = self.stats.borrow_mut();
+            s.msgs_sent += 1;
+            s.bytes_sent += bytes as u64;
+        }
+        let env = Envelope { src: self.rank, send_time: self.clock.get(), bytes, msg };
+        // A send can only fail if the destination thread already exited,
+        // which means the SPMD program violated its quiescence contract;
+        // losing the message is the faithful outcome (the wire goes dead).
+        let _ = self.txs[dst].send(env);
+    }
+
+    /// Non-blocking receive. On delivery the local clock advances to cover
+    /// the message's flight time and the receive overhead is charged.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.rx.try_recv() {
+            Ok(env) => {
+                self.absorb(&env);
+                Some(env)
+            }
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a short timeout, for poll loops that should
+    /// yield the CPU while idle. Returns `None` on timeout.
+    pub fn recv_timeout(&self, d: Duration) -> Option<Envelope<M>> {
+        match self.rx.recv_timeout(d) {
+            Ok(env) => {
+                self.absorb(&env);
+                Some(env)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn absorb(&self, env: &Envelope<M>) {
+        let arrival = env.send_time + self.cost.wire_time(env.bytes);
+        let now = self.clock.get().max(arrival) + self.cost.recv_overhead;
+        self.clock.set(now);
+        self.stats.borrow_mut().msgs_recv += 1;
+    }
+
+    /// Spin-with-backoff until `pred` returns true, invoking `handle` on
+    /// messages that arrive in the meantime. This is the substrate's
+    /// equivalent of an Active Messages poll loop: a blocked processor keeps
+    /// servicing incoming protocol requests. Panics with `what` if the
+    /// watchdog expires (a wedged protocol).
+    ///
+    /// `pred` is re-checked after **every** message: as soon as the wait is
+    /// satisfied the loop returns, leaving any further queued messages for
+    /// the node's next poll. This matters for virtual-time fidelity — a
+    /// thread that races ahead in wall-clock time can enqueue messages
+    /// whose virtual send time is far in this node's future, and absorbing
+    /// them while blocked on an earlier event would serialize logically
+    /// parallel phases (the node's own next compute phase would start
+    /// *after* the peer's, inflating simulated time from max-of-nodes
+    /// toward sum-of-nodes).
+    pub fn poll_until(
+        &self,
+        what: &str,
+        mut handle: impl FnMut(&Self, Envelope<M>),
+        mut pred: impl FnMut() -> bool,
+    ) {
+        if pred() {
+            return;
+        }
+        let start = Instant::now();
+        loop {
+            match self.try_recv() {
+                Some(env) => {
+                    handle(self, env);
+                    if pred() {
+                        return;
+                    }
+                }
+                None => {
+                    if pred() {
+                        return;
+                    }
+                    match self.recv_timeout(Duration::from_micros(100)) {
+                        Some(env) => {
+                            handle(self, env);
+                            if pred() {
+                                return;
+                            }
+                        }
+                        None => {
+                            if start.elapsed() > self.watchdog.get() {
+                                panic!(
+                                    "node {} wedged waiting for: {what} (clock {} ns)",
+                                    self.rank,
+                                    self.now()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot of this node's statistics (final clock filled in).
+    pub fn stats(&self) -> NodeStats {
+        let mut s = self.stats.borrow().clone();
+        s.final_clock = self.clock.get();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::run_spmd;
+
+    #[test]
+    fn clock_advances_on_send_and_recv() {
+        let cost = CostModel::cm5();
+        let r = run_spmd::<u64, _, _>(2, cost.clone(), |node| {
+            if node.rank() == 0 {
+                node.send(1, 42u64);
+                node.now()
+            } else {
+                let got = Cell::new(0u64);
+                node.poll_until("payload", |_, env| got.set(env.msg), || got.get() != 0);
+                assert_eq!(got.get(), 42);
+                node.now()
+            }
+        });
+        // Sender paid send overhead; receiver's clock covers flight time.
+        assert_eq!(r.results[0], cost.send_overhead);
+        assert!(r.results[1] >= cost.send_overhead + cost.wire_time(8 + HEADER_BYTES));
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let r = run_spmd::<u64, _, _>(1, CostModel::free(), |node| {
+            node.send(0, 7);
+            let got = Cell::new(0u64);
+            node.poll_until("self message", |_, env| got.set(env.msg), || got.get() != 0);
+            got.get()
+        });
+        assert_eq!(r.results[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "wedged waiting for")]
+    fn watchdog_fires() {
+        run_spmd::<u64, _, _>(1, CostModel::free(), |node| {
+            node.set_watchdog(Duration::from_millis(50));
+            node.poll_until("never", |_, _| {}, || false);
+        });
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let r = run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
+            if node.rank() == 0 {
+                for i in 0..5 {
+                    node.send(1, i + 1);
+                }
+            } else {
+                let seen = Cell::new(0u64);
+                node.poll_until("5 messages", |_, _| seen.set(seen.get() + 1), || seen.get() == 5);
+            }
+        });
+        assert_eq!(r.stats.nodes[0].msgs_sent, 5);
+        assert_eq!(r.stats.nodes[1].msgs_recv, 5);
+        assert_eq!(r.stats.nodes[0].bytes_sent, 5 * (8 + HEADER_BYTES as u64));
+    }
+
+    #[test]
+    fn fifo_between_pair() {
+        let r = run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
+            if node.rank() == 0 {
+                for i in 0..100 {
+                    node.send(1, i);
+                }
+                Vec::new()
+            } else {
+                let seen = RefCell::new(Vec::new());
+                node.poll_until(
+                    "100 msgs",
+                    |_, env| seen.borrow_mut().push(env.msg),
+                    || seen.borrow().len() == 100,
+                );
+                seen.into_inner()
+            }
+        });
+        assert_eq!(r.results[1], (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,164 @@
+//! SPMD launcher: run one closure on every simulated processor.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+
+use crate::cost::CostModel;
+use crate::envelope::MsgSize;
+use crate::node::Node;
+use crate::stats::{MachineStats, NodeStats};
+use crate::MAX_NODES;
+
+/// Outcome of an SPMD run: per-node results, counters, and both clocks.
+#[derive(Debug)]
+pub struct SpmdResult<R> {
+    /// Per-node return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-node communication counters.
+    pub stats: MachineStats,
+    /// Simulated completion time (max final virtual clock), nanoseconds.
+    pub sim_ns: u64,
+    /// Real elapsed time of the whole run.
+    pub wall: Duration,
+}
+
+/// Launch `nprocs` simulated processors, each running `f` with its own
+/// [`Node`], in the single-program-multiple-data style of the paper
+/// ("a single user thread per processor (SPMD)", §3.1).
+///
+/// The closure must uphold the quiescence contract: when it returns on one
+/// node, no other node may still require service from it. The runtimes
+/// enforce this by ending every program with a machine-wide barrier.
+///
+/// # Panics
+///
+/// Panics if `nprocs` is zero or exceeds [`MAX_NODES`], or if any node's
+/// closure panics (the panic is propagated with the node's rank).
+pub fn run_spmd<M, R, F>(nprocs: usize, cost: CostModel, f: F) -> SpmdResult<R>
+where
+    M: MsgSize + Send,
+    R: Send,
+    F: Fn(&Node<M>) -> R + Sync,
+{
+    assert!(nprocs >= 1, "need at least one node");
+    assert!(nprocs <= MAX_NODES, "at most {MAX_NODES} nodes supported");
+
+    let cost = Arc::new(cost);
+    let mut txs = Vec::with_capacity(nprocs);
+    let mut rxs = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let txs = Arc::new(txs);
+
+    let start = Instant::now();
+    let mut outcomes: Vec<Option<(R, NodeStats)>> = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        outcomes.push(None);
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let txs = Arc::clone(&txs);
+            let cost = Arc::clone(&cost);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let node = Node::new(rank, nprocs, rx, txs, cost);
+                let r = f(&node);
+                (r, node.stats())
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => outcomes[rank] = Some(out),
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(|s| s.as_str())
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("node {rank} panicked: {msg}");
+                }
+            }
+        }
+    });
+
+    let wall = start.elapsed();
+    let mut results = Vec::with_capacity(nprocs);
+    let mut stats = MachineStats::default();
+    for out in outcomes {
+        let (r, s) = out.expect("node produced no result");
+        results.push(r);
+        stats.nodes.push(s);
+    }
+    let sim_ns = stats.sim_time();
+    SpmdResult { results, stats, sim_ns, wall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rank_runs_once() {
+        let r = run_spmd::<(), _, _>(8, CostModel::free(), |node| node.rank());
+        assert_eq!(r.results, (0..8).collect::<Vec<_>>());
+        assert_eq!(r.stats.nodes.len(), 8);
+    }
+
+    #[test]
+    fn sim_time_is_max_clock() {
+        let r = run_spmd::<(), _, _>(4, CostModel::free(), |node| {
+            node.charge(node.rank() as u64 * 1000);
+        });
+        assert_eq!(r.sim_ns, 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_nodes_rejected() {
+        run_spmd::<(), _, _>(MAX_NODES + 1, CostModel::free(), |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "node 2 panicked: boom")]
+    fn panics_propagate_with_rank() {
+        run_spmd::<(), _, _>(4, CostModel::free(), |node| {
+            if node.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn all_to_all_ring() {
+        // Every node sends its rank to every other node and sums receipts.
+        let n = 6usize;
+        let r = run_spmd::<u64, _, _>(n, CostModel::cm5(), |node| {
+            for dst in 0..n {
+                if dst != node.rank() {
+                    node.send(dst, node.rank() as u64 + 1);
+                }
+            }
+            let acc = std::cell::Cell::new((0u64, 0usize));
+            node.poll_until(
+                "ring receipts",
+                |_, env| {
+                    let (sum, cnt) = acc.get();
+                    acc.set((sum + env.msg, cnt + 1));
+                },
+                || acc.get().1 == n - 1,
+            );
+            acc.get().0
+        });
+        let total: u64 = (1..=n as u64).sum();
+        for (rank, got) in r.results.iter().enumerate() {
+            assert_eq!(*got, total - (rank as u64 + 1));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-node and whole-machine counters.
+
+/// Communication counters for one node.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Messages injected by this node.
+    pub msgs_sent: u64,
+    /// Payload bytes injected (excluding headers).
+    pub bytes_sent: u64,
+    /// Messages received and handled by this node.
+    pub msgs_recv: u64,
+    /// Final virtual clock, filled in when the node's program returns.
+    pub final_clock: u64,
+}
+
+/// Aggregated statistics for a whole SPMD run.
+#[derive(Debug, Default, Clone)]
+pub struct MachineStats {
+    /// Per-node counters, indexed by rank.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl MachineStats {
+    /// Total messages sent across all nodes.
+    pub fn total_msgs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.msgs_sent).sum()
+    }
+
+    /// Total payload bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Simulated completion time of the run: the maximum final clock.
+    pub fn sim_time(&self) -> u64 {
+        self.nodes.iter().map(|n| n.final_clock).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let stats = MachineStats {
+            nodes: vec![
+                NodeStats { msgs_sent: 3, bytes_sent: 100, msgs_recv: 1, final_clock: 50 },
+                NodeStats { msgs_sent: 2, bytes_sent: 10, msgs_recv: 4, final_clock: 80 },
+            ],
+        };
+        assert_eq!(stats.total_msgs(), 5);
+        assert_eq!(stats.total_bytes(), 110);
+        assert_eq!(stats.sim_time(), 80);
+    }
+
+    #[test]
+    fn empty_machine() {
+        let stats = MachineStats::default();
+        assert_eq!(stats.total_msgs(), 0);
+        assert_eq!(stats.sim_time(), 0);
+    }
+}

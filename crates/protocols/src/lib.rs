@@ -1,0 +1,119 @@
+//! The Ace protocol library (§2, §5.2 of the paper).
+//!
+//! Every protocol here implements the full-access-control interface of
+//! [`ace_core::Protocol`]: hooks before/after reads and writes, at
+//! map/unmap, and at synchronization points, plus an active-message
+//! handler. Each protocol's distributed state lives in the protocol-owned
+//! fields of [`ace_core::RegionEntry`] (state code, sharer bitmask, owner,
+//! pending count, aux word, blocked queue, twin buffer) and in
+//! [`ace_core::SpaceEntry`] (dirty list, outstanding count, aux).
+//!
+//! | protocol | paper use | semantics |
+//! |---|---|---|
+//! | [`SeqInvalidate`] | the default | sequentially-consistent, home-based invalidation (CRL-class MSI) |
+//! | [`DynamicUpdate`] | Barnes-Hut bodies, EM3D experiment | writes propagated to all sharers immediately after each write |
+//! | [`StaticUpdate`] | EM3D | sharer lists built on first touch, updates pushed at barriers (Falsafi et al.'s EM3D protocol) |
+//! | [`NullProtocol`] | Water intra-molecular phase | no coherence actions at all |
+//! | [`Migratory`] | migratory data | single copy migrates to each accessor with exclusive ownership |
+//! | [`PipelinedWrite`] | Water inter-molecular phase | local writes diffed against a twin; f64 deltas pipelined home and accumulated; completion checked at barriers |
+//! | [`HomeOwned`] | BSC | asserts only the creating node writes; readers pull bulk copies, validity bounded by barriers |
+//! | [`FetchAddCounter`] | TSP job counter | `lock` performs a one-round-trip fetch-and-add at home |
+//!
+//! The [`registry`] module is the analogue of the paper's protocol
+//! registration script (Figure 1): a table of protocol names, their
+//! optimizability, and their null handlers, consumed by the Ace-C compiler.
+
+pub mod counter;
+pub mod dyn_update;
+pub mod home_owned;
+pub mod migratory;
+pub mod null;
+pub mod pipelined;
+pub mod registry;
+pub mod seq_inv;
+pub mod static_update;
+
+pub use counter::FetchAddCounter;
+pub use dyn_update::DynamicUpdate;
+pub use home_owned::HomeOwned;
+pub use migratory::Migratory;
+pub use null::NullProtocol;
+pub use pipelined::PipelinedWrite;
+pub use registry::{make, ProtoSpec};
+pub use seq_inv::SeqInvalidate;
+pub use static_update::StaticUpdate;
+
+/// Region state codes shared by the invalidation-style protocols. The
+/// runtime establishes `HOME` at `gmalloc` and `R_INVALID` on first map of
+/// a remote region; protocols take it from there.
+pub mod states {
+    /// This node is the region's home (master copy lives here).
+    pub const HOME: u32 = 0;
+    /// Remote cache: no valid copy.
+    pub const R_INVALID: u32 = 1;
+    /// Remote cache: valid read copy.
+    pub const R_SHARED: u32 = 2;
+    /// Remote cache: exclusive, writable copy.
+    pub const R_EXCL: u32 = 3;
+    /// Remote cache: read request in flight.
+    pub const R_WAIT_READ: u32 = 4;
+    /// Remote cache: write/exclusive request in flight.
+    pub const R_WAIT_WRITE: u32 = 5;
+}
+
+/// Aux-word bit assignments shared by the protocols (home and remote roles
+/// never coexist for one entry, so the bits could overlap safely; they are
+/// kept distinct anyway for debuggability).
+pub mod auxbits {
+    /// Home side: a directory round (recall or invalidation) is in flight.
+    pub const BUSY: u64 = 1 << 0;
+    /// Remote side: an invalidation arrived while an access section was
+    /// open; it is honoured at the matching `end_*`.
+    pub const INV_PENDING: u64 = 1 << 1;
+    /// Remote side: a recall arrived while a section was open.
+    pub const RECALL_PENDING: u64 = 1 << 2;
+    /// Remote side: a request is in flight / a granted copy has not yet
+    /// been used. Grants followed immediately by an invalidate or recall
+    /// would otherwise be yanked before the waiting access ever sees them
+    /// (both messages can be handled in one poll batch); while WANTED is
+    /// set, yanks defer exactly like during an open section.
+    pub const WANTED: u64 = 1 << 3;
+    /// Shift for the home-side pending grantee (stored as rank + 1).
+    pub const GRANTEE_SHIFT: u32 = 16;
+
+    /// Read the pending grantee, if any.
+    pub fn grantee(aux: u64) -> Option<usize> {
+        let g = (aux >> GRANTEE_SHIFT) & 0xFFFF;
+        (g != 0).then(|| g as usize - 1)
+    }
+
+    /// Store a pending grantee.
+    pub fn with_grantee(aux: u64, rank: usize) -> u64 {
+        (aux & !(0xFFFFu64 << GRANTEE_SHIFT)) | (((rank as u64) + 1) << GRANTEE_SHIFT)
+    }
+
+    /// Clear the pending grantee.
+    pub fn clear_grantee(aux: u64) -> u64 {
+        aux & !(0xFFFFu64 << GRANTEE_SHIFT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::auxbits::*;
+
+    #[test]
+    fn grantee_round_trip() {
+        let aux = with_grantee(BUSY, 13);
+        assert_eq!(grantee(aux), Some(13));
+        assert_eq!(aux & BUSY, BUSY);
+        assert_eq!(grantee(clear_grantee(aux)), None);
+        assert_eq!(clear_grantee(aux) & BUSY, BUSY);
+    }
+
+    #[test]
+    fn grantee_zero_rank_distinct_from_none() {
+        assert_eq!(grantee(with_grantee(0, 0)), Some(0));
+        assert_eq!(grantee(0), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! Protocol registry: the analogue of the paper's registration script.
+//!
+//! In the paper (Figure 1), a protocol designer registers a protocol by
+//! running a Tcl script that records the protocol's name, which access and
+//! synchronization points it handles, and whether its calls may be
+//! optimized; the compiler reads the generated system configuration file.
+//! Here the same information is a Rust table: [`ProtoSpec`] names a
+//! protocol (plus any parameters), [`make`] instantiates it, and
+//! [`ProtocolInfo`]/[`all_protocols`] expose the registration metadata the
+//! Ace-C compiler consumes.
+
+use std::rc::Rc;
+
+use ace_core::{Actions, Protocol};
+
+use crate::{
+    DynamicUpdate, FetchAddCounter, HomeOwned, Migratory, NullProtocol, PipelinedWrite,
+    SeqInvalidate, StaticUpdate,
+};
+
+/// A serializable protocol selector, used by applications to request
+/// protocols per space and by the Ace-C compiler's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtoSpec {
+    /// Sequentially-consistent invalidation (the default).
+    Sc,
+    /// Dynamic update.
+    DynUpdate,
+    /// Static update (barrier-time pushes).
+    StaticUpdate,
+    /// Null protocol.
+    Null,
+    /// Migratory single-copy.
+    Migratory,
+    /// Pipelined delta writes.
+    Pipelined,
+    /// Home-owned bulk regions.
+    HomeOwned,
+    /// Fetch-and-add counter with the given stride.
+    FetchAdd(u64),
+}
+
+impl ProtoSpec {
+    /// The registered protocol name (what `Ace_ChangeProtocol` strings
+    /// and the compiler configuration refer to).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtoSpec::Sc => "SC",
+            ProtoSpec::DynUpdate => "Update",
+            ProtoSpec::StaticUpdate => "StaticUpdate",
+            ProtoSpec::Null => "Null",
+            ProtoSpec::Migratory => "Migratory",
+            ProtoSpec::Pipelined => "Pipelined",
+            ProtoSpec::HomeOwned => "HomeOwned",
+            ProtoSpec::FetchAdd(_) => "FetchAdd",
+        }
+    }
+
+    /// Parse a registered protocol name.
+    pub fn by_name(name: &str) -> Option<ProtoSpec> {
+        Some(match name {
+            "SC" => ProtoSpec::Sc,
+            "Update" => ProtoSpec::DynUpdate,
+            "StaticUpdate" => ProtoSpec::StaticUpdate,
+            "Null" => ProtoSpec::Null,
+            "Migratory" => ProtoSpec::Migratory,
+            "Pipelined" => ProtoSpec::Pipelined,
+            "HomeOwned" => ProtoSpec::HomeOwned,
+            "FetchAdd" => ProtoSpec::FetchAdd(1),
+            _ => return None,
+        })
+    }
+}
+
+/// Instantiate a protocol object for one space on the calling node.
+pub fn make(spec: ProtoSpec) -> Rc<dyn Protocol> {
+    match spec {
+        ProtoSpec::Sc => Rc::new(SeqInvalidate::new()),
+        ProtoSpec::DynUpdate => Rc::new(DynamicUpdate::new()),
+        ProtoSpec::StaticUpdate => Rc::new(StaticUpdate::new()),
+        ProtoSpec::Null => Rc::new(NullProtocol::new()),
+        ProtoSpec::Migratory => Rc::new(Migratory::new()),
+        ProtoSpec::Pipelined => Rc::new(PipelinedWrite::new()),
+        ProtoSpec::HomeOwned => Rc::new(HomeOwned::new()),
+        ProtoSpec::FetchAdd(stride) => Rc::new(FetchAddCounter::with_stride(stride)),
+    }
+}
+
+/// Registration metadata for one protocol (one line of the paper's system
+/// configuration file).
+#[derive(Debug, Clone)]
+pub struct ProtocolInfo {
+    /// Registered name.
+    pub name: &'static str,
+    /// The selector that instantiates it.
+    pub spec: ProtoSpec,
+    /// Whether the compiler may move/merge this protocol's calls.
+    pub optimizable: bool,
+    /// Hooks that are null (candidates for direct-dispatch removal).
+    pub null_actions: Actions,
+}
+
+/// The full registry, in registration order.
+pub fn all_protocols() -> Vec<ProtocolInfo> {
+    [
+        ProtoSpec::Sc,
+        ProtoSpec::DynUpdate,
+        ProtoSpec::StaticUpdate,
+        ProtoSpec::Null,
+        ProtoSpec::Migratory,
+        ProtoSpec::Pipelined,
+        ProtoSpec::HomeOwned,
+        ProtoSpec::FetchAdd(1),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let p = make(spec);
+        ProtocolInfo {
+            name: spec.name(),
+            spec,
+            optimizable: p.optimizable(),
+            null_actions: p.null_actions(),
+        }
+    })
+    .collect()
+}
+
+/// Look up registration metadata by name.
+pub fn info(name: &str) -> Option<ProtocolInfo> {
+    all_protocols().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in all_protocols() {
+            assert_eq!(ProtoSpec::by_name(p.name).map(|s| s.name()), Some(p.name));
+            assert_eq!(make(p.spec).name(), p.name);
+        }
+    }
+
+    #[test]
+    fn default_protocol_is_not_optimizable() {
+        assert!(!info("SC").unwrap().optimizable);
+        assert!(info("Update").unwrap().optimizable);
+        assert!(info("Null").unwrap().optimizable);
+    }
+
+    #[test]
+    fn static_update_declares_null_access_hooks() {
+        let i = info("StaticUpdate").unwrap();
+        assert!(i.null_actions.contains(Actions::START_READ));
+        assert!(i.null_actions.contains(Actions::END_READ));
+        assert!(!i.null_actions.contains(Actions::END_WRITE));
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        assert!(ProtoSpec::by_name("Bogus").is_none());
+        assert!(info("Bogus").is_none());
+    }
+}

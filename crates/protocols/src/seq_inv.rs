@@ -1,0 +1,544 @@
+//! The default protocol: sequentially-consistent, home-based invalidation.
+//!
+//! This is the CRL-class MSI protocol the paper's default space runs
+//! ("a sequentially consistent invalidation-based protocol", §3.1), and the
+//! protocol both systems run in the Figure 7a comparison.
+//!
+//! Directory state lives at the region's home: a sharer bitmask and an
+//! exclusive `owner` (or -1, meaning the home master copy is valid). At
+//! most one *round* (recall or invalidation sweep) is in flight per region;
+//! requests that arrive mid-round are parked in the entry's blocked queue
+//! and replayed when the region quiesces. Invalidations and recalls that
+//! arrive while the target node has an access section open are deferred to
+//! the matching `end_*` (a region in active use is never yanked mid-read,
+//! which is how region-based DSMs reconcile handler asynchrony with
+//! section semantics).
+
+use ace_core::{AceRt, ProtoMsg, Protocol, RegionEntry};
+
+use crate::auxbits::{self, BUSY, INV_PENDING, RECALL_PENDING, WANTED};
+use crate::states::*;
+
+/// Wire opcodes (interpreted only by this protocol).
+pub mod op {
+    /// Remote → home: request a read (shared) copy.
+    pub const RREQ: u16 = 1;
+    /// Remote → home: request an exclusive copy.
+    pub const WREQ: u16 = 2;
+    /// Home → remote: data grant, shared.
+    pub const DATA_S: u16 = 3;
+    /// Home → remote: data grant, exclusive.
+    pub const DATA_X: u16 = 4;
+    /// Home → sharer: invalidate your copy.
+    pub const INV: u16 = 5;
+    /// Sharer → home: invalidation acknowledged.
+    pub const INV_ACK: u16 = 6;
+    /// Home → owner: return the exclusive copy.
+    pub const RECALL: u16 = 7;
+    /// Owner → home: exclusive data coming home (recall response).
+    pub const WB_DATA: u16 = 8;
+    /// Sharer → home: dropping my shared copy (protocol flush).
+    pub const FLUSH_S: u16 = 9;
+    /// Owner → home: flushing my exclusive copy home (protocol flush).
+    pub const FLUSH_X: u16 = 10;
+    /// Home → remote: flush acknowledged.
+    pub const FLUSH_ACK: u16 = 11;
+}
+
+/// The sequentially-consistent invalidation protocol.
+#[derive(Default)]
+pub struct SeqInvalidate;
+
+impl SeqInvalidate {
+    /// Boxed constructor for registry use.
+    pub fn new() -> Self {
+        SeqInvalidate
+    }
+
+    fn set_bit(e: &RegionEntry, bit: u64) {
+        e.aux.set(e.aux.get() | bit);
+    }
+
+    fn clear_bit(e: &RegionEntry, bit: u64) {
+        e.aux.set(e.aux.get() & !bit);
+    }
+
+    fn has_bit(e: &RegionEntry, bit: u64) -> bool {
+        e.aux.get() & bit != 0
+    }
+
+    /// Home side: replay requests parked during a round.
+    fn drain_blocked(&self, rt: &AceRt, e: &RegionEntry) {
+        let parked: Vec<(u16, u16, u64)> = e.blocked.borrow_mut().drain(..).collect();
+        for (from, opc, arg) in parked {
+            self.handle(
+                rt,
+                e,
+                ProtoMsg { region: e.id, op: opc, from, arg, data: None },
+                from as usize,
+            );
+        }
+    }
+
+    /// Home side: start an invalidation sweep of every sharer except
+    /// `except`. Returns the number of invalidations outstanding.
+    fn sweep_sharers(&self, rt: &AceRt, e: &RegionEntry, except: Option<usize>) -> u32 {
+        let mut n = 0;
+        for s in e.sharer_ranks() {
+            if Some(s) == except {
+                continue;
+            }
+            rt.send_proto(s, e.id, op::INV, 0, None);
+            n += 1;
+        }
+        if let Some(x) = except {
+            if e.is_sharer(x) {
+                e.drop_sharer(x);
+            }
+        }
+        e.pending.set(e.pending.get() + n);
+        n
+    }
+
+    /// Home side: grant an exclusive copy to `to`.
+    fn grant_exclusive(&self, rt: &AceRt, e: &RegionEntry, to: usize) {
+        e.sharers.set(0);
+        e.owner.set(to as i32);
+        rt.send_proto(to, e.id, op::DATA_X, 0, Some(e.clone_data()));
+    }
+
+    /// Home side of `start_read`/`start_write`: wait until the master copy
+    /// is valid at home (recalling an exclusive owner if necessary) and no
+    /// directory round is in flight.
+    fn home_acquire_master(&self, rt: &AceRt, e: &RegionEntry) {
+        loop {
+            if e.owner.get() == -1 && !Self::has_bit(e, BUSY) {
+                return;
+            }
+            if e.owner.get() != -1 && !Self::has_bit(e, BUSY) {
+                Self::set_bit(e, BUSY);
+                rt.send_proto(e.owner.get() as usize, e.id, op::RECALL, 0, None);
+            }
+            rt.wait("home master recall", || !Self::has_bit(e, BUSY));
+        }
+    }
+
+    /// Remote side: honour a deferred or immediate invalidation.
+    fn do_invalidate(&self, rt: &AceRt, e: &RegionEntry) {
+        e.st.set(R_INVALID);
+        rt.send_proto(e.id.home(), e.id, op::INV_ACK, 0, None);
+    }
+
+    /// Remote side: honour a deferred or immediate recall.
+    fn do_recall(&self, rt: &AceRt, e: &RegionEntry) {
+        e.st.set(R_INVALID);
+        rt.send_proto(e.id.home(), e.id, op::WB_DATA, 0, Some(e.clone_data()));
+    }
+}
+
+impl Protocol for SeqInvalidate {
+    fn name(&self) -> &'static str {
+        "SC"
+    }
+
+    // Sequential consistency forbids reordering protocol calls (§4.2).
+    fn optimizable(&self) -> bool {
+        false
+    }
+
+    fn start_read(&self, rt: &AceRt, e: &RegionEntry) {
+        if e.is_home_of(rt.rank()) {
+            if e.owner.get() != -1 || Self::has_bit(e, BUSY) {
+                rt.counters_mut(|c| c.read_misses += 1);
+                self.home_acquire_master(rt, e);
+            }
+            return;
+        }
+        match e.st.get() {
+            R_SHARED | R_EXCL => {}
+            R_INVALID => {
+                rt.counters_mut(|c| c.read_misses += 1);
+                Self::set_bit(e, WANTED);
+                e.st.set(R_WAIT_READ);
+                rt.send_proto(e.id.home(), e.id, op::RREQ, 0, None);
+                rt.wait("read copy", || e.st.get() == R_SHARED);
+                Self::clear_bit(e, WANTED);
+            }
+            other => panic!("start_read in unexpected state {other}"),
+        }
+    }
+
+    fn end_read(&self, rt: &AceRt, e: &RegionEntry) {
+        if e.is_home_of(rt.rank()) {
+            if !e.busy() && !Self::has_bit(e, BUSY) && !e.blocked.borrow().is_empty() {
+                self.drain_blocked(rt, e);
+            }
+            return;
+        }
+        if !e.busy() && Self::has_bit(e, INV_PENDING) {
+            Self::clear_bit(e, INV_PENDING);
+            self.do_invalidate(rt, e);
+        }
+        if !e.busy() && Self::has_bit(e, RECALL_PENDING) {
+            Self::clear_bit(e, RECALL_PENDING);
+            self.do_recall(rt, e);
+        }
+    }
+
+    fn start_write(&self, rt: &AceRt, e: &RegionEntry) {
+        if e.is_home_of(rt.rank()) {
+            if e.owner.get() != -1 || Self::has_bit(e, BUSY) || e.sharers.get() != 0 {
+                rt.counters_mut(|c| c.write_misses += 1);
+            }
+            self.home_acquire_master(rt, e);
+            if e.sharers.get() != 0 {
+                Self::set_bit(e, BUSY);
+                self.sweep_sharers(rt, e, None);
+                rt.wait("sharer invalidations", || e.pending.get() == 0);
+                Self::clear_bit(e, BUSY);
+                // Parked requests stay parked until end_write drains them:
+                // granting a copy now would let a reader see the master
+                // mid-write-section.
+            }
+            return;
+        }
+        match e.st.get() {
+            R_EXCL => {}
+            R_SHARED | R_INVALID => {
+                rt.counters_mut(|c| c.write_misses += 1);
+                Self::set_bit(e, WANTED);
+                e.st.set(R_WAIT_WRITE);
+                rt.send_proto(e.id.home(), e.id, op::WREQ, 0, None);
+                rt.wait("exclusive copy", || e.st.get() == R_EXCL);
+                Self::clear_bit(e, WANTED);
+            }
+            other => panic!("start_write in unexpected state {other}"),
+        }
+    }
+
+    fn end_write(&self, rt: &AceRt, e: &RegionEntry) {
+        // Exclusive copies are retained until recalled; only honour
+        // deferred directory actions.
+        self.end_read(rt, e);
+    }
+
+    fn handle(&self, rt: &AceRt, e: &RegionEntry, msg: ProtoMsg, _src: usize) {
+        let from = msg.from as usize;
+        match msg.op {
+            // ---------------- home side ----------------
+            op::RREQ => {
+                if e.is_home_of(rt.rank()) && e.busy() {
+                    // Home itself is inside an access section: defer, the
+                    // matching end_* drains the queue.
+                    e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
+                } else if Self::has_bit(e, BUSY) {
+                    e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
+                } else if e.owner.get() != -1 {
+                    Self::set_bit(e, BUSY);
+                    rt.send_proto(e.owner.get() as usize, e.id, op::RECALL, 0, None);
+                    e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
+                } else {
+                    e.add_sharer(from);
+                    rt.send_proto(from, e.id, op::DATA_S, 0, Some(e.clone_data()));
+                }
+            }
+            op::WREQ => {
+                if e.is_home_of(rt.rank()) && e.busy() {
+                    e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
+                } else if Self::has_bit(e, BUSY) {
+                    e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
+                } else if e.owner.get() != -1 {
+                    Self::set_bit(e, BUSY);
+                    rt.send_proto(e.owner.get() as usize, e.id, op::RECALL, 0, None);
+                    e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
+                } else if self.sweep_sharers(rt, e, Some(from)) > 0 {
+                    Self::set_bit(e, BUSY);
+                    e.aux.set(auxbits::with_grantee(e.aux.get(), from));
+                } else {
+                    self.grant_exclusive(rt, e, from);
+                }
+            }
+            op::INV_ACK => {
+                debug_assert!(e.pending.get() > 0);
+                e.pending.set(e.pending.get() - 1);
+                if e.pending.get() == 0 {
+                    if let Some(g) = auxbits::grantee(e.aux.get()) {
+                        e.aux.set(auxbits::clear_grantee(e.aux.get()));
+                        self.grant_exclusive(rt, e, g);
+                        Self::clear_bit(e, BUSY);
+                        self.drain_blocked(rt, e);
+                    }
+                    // Otherwise a home-local start_write is waiting on
+                    // pending == 0 and clears BUSY itself.
+                }
+            }
+            op::WB_DATA | op::FLUSH_X => {
+                e.install_data(msg.data.as_deref().expect("writeback carries data"));
+                e.owner.set(-1);
+                Self::clear_bit(e, BUSY);
+                if msg.op == op::FLUSH_X {
+                    rt.send_proto(from, e.id, op::FLUSH_ACK, 0, None);
+                }
+                self.drain_blocked(rt, e);
+            }
+            op::FLUSH_S => {
+                e.drop_sharer(from);
+                rt.send_proto(from, e.id, op::FLUSH_ACK, 0, None);
+            }
+            // ---------------- remote side ----------------
+            op::DATA_S => {
+                e.install_data(msg.data.as_deref().expect("grant carries data"));
+                e.st.set(R_SHARED);
+            }
+            op::DATA_X => {
+                e.install_data(msg.data.as_deref().expect("grant carries data"));
+                e.st.set(R_EXCL);
+            }
+            op::INV => match e.st.get() {
+                R_SHARED if e.busy() || Self::has_bit(e, WANTED) => {
+                    Self::set_bit(e, INV_PENDING)
+                }
+                R_SHARED => self.do_invalidate(rt, e),
+                // We already requested an upgrade or dropped the copy; the
+                // data here is dead either way — just acknowledge.
+                R_WAIT_WRITE | R_INVALID | R_WAIT_READ => {
+                    rt.send_proto(e.id.home(), e.id, op::INV_ACK, 0, None);
+                }
+                other => panic!("INV in unexpected state {other}"),
+            },
+            op::RECALL => match e.st.get() {
+                R_EXCL if e.busy() || Self::has_bit(e, WANTED) => {
+                    Self::set_bit(e, RECALL_PENDING)
+                }
+                R_EXCL => self.do_recall(rt, e),
+                other => panic!("RECALL in unexpected state {other}"),
+            },
+            op::FLUSH_ACK => {
+                e.aux.set(e.aux.get() & !(1 << 8)); // flush-wait bit, see flush()
+            }
+            other => panic!("SC: unknown opcode {other}"),
+        }
+    }
+
+    fn flush(&self, rt: &AceRt, e: &RegionEntry) {
+        const FLUSH_WAIT: u64 = 1 << 8;
+        if e.is_home_of(rt.rank()) {
+            // Remote copies flush themselves; the change_protocol barrier
+            // orders their acks before the swap.
+            return;
+        }
+        match e.st.get() {
+            R_INVALID => {}
+            R_SHARED => {
+                e.aux.set(e.aux.get() | FLUSH_WAIT);
+                e.st.set(R_INVALID);
+                rt.send_proto(e.id.home(), e.id, op::FLUSH_S, 0, None);
+                rt.wait("flush ack", || e.aux.get() & FLUSH_WAIT == 0);
+            }
+            R_EXCL => {
+                e.aux.set(e.aux.get() | FLUSH_WAIT);
+                let data = e.clone_data();
+                e.st.set(R_INVALID);
+                rt.send_proto(e.id.home(), e.id, op::FLUSH_X, 0, Some(data));
+                rt.wait("flush ack", || e.aux.get() & FLUSH_WAIT == 0);
+            }
+            other => panic!("flush in transient state {other}"),
+        }
+        e.aux.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_core::{run_ace, CostModel, RegionId};
+    use std::rc::Rc;
+
+    fn sc() -> Rc<dyn Protocol> {
+        Rc::new(SeqInvalidate)
+    }
+
+    /// Allocate one region at node 0 and share its id with everyone.
+    fn shared_region(rt: &AceRt, words: usize) -> RegionId {
+        let s = rt.new_space(sc());
+        let rid = if rt.rank() == 0 {
+            RegionId(rt.bcast(0, &[rt.gmalloc_words(s, words).0])[0])
+        } else {
+            RegionId(rt.bcast(0, &[])[0])
+        };
+        rt.map(rid);
+        rid
+    }
+
+    #[test]
+    fn remote_read_sees_home_write() {
+        let r = run_ace(2, CostModel::free(), |rt| {
+            let rid = shared_region(rt, 2);
+            if rt.rank() == 0 {
+                rt.start_write(rid);
+                rt.with_mut::<u64, _>(rid, |d| d[1] = 77);
+                rt.end_write(rid);
+            }
+            rt.machine_barrier();
+            rt.start_read(rid);
+            let v = rt.with::<u64, _>(rid, |d| d[1]);
+            rt.end_read(rid);
+            v
+        });
+        assert_eq!(r.results, vec![77, 77]);
+    }
+
+    #[test]
+    fn home_read_recalls_remote_exclusive() {
+        let r = run_ace(2, CostModel::free(), |rt| {
+            let rid = shared_region(rt, 1);
+            if rt.rank() == 1 {
+                rt.start_write(rid);
+                rt.with_mut::<u64, _>(rid, |d| d[0] = 123);
+                rt.end_write(rid);
+            }
+            rt.machine_barrier();
+            if rt.rank() == 0 {
+                rt.start_read(rid);
+                let v = rt.with::<u64, _>(rid, |d| d[0]);
+                rt.end_read(rid);
+                v
+            } else {
+                0
+            }
+        });
+        assert_eq!(r.results[0], 123);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let r = run_ace(4, CostModel::free(), |rt| {
+            let rid = shared_region(rt, 1);
+            // Everyone reads (populating sharer list).
+            rt.start_read(rid);
+            rt.end_read(rid);
+            rt.machine_barrier();
+            // Node 3 writes.
+            if rt.rank() == 3 {
+                rt.start_write(rid);
+                rt.with_mut::<u64, _>(rid, |d| d[0] = 5);
+                rt.end_write(rid);
+            }
+            rt.machine_barrier();
+            // Everyone rereads; must see the write (their copies were
+            // invalidated, so they refetch through home).
+            rt.start_read(rid);
+            let v = rt.with::<u64, _>(rid, |d| d[0]);
+            rt.end_read(rid);
+            v
+        });
+        assert_eq!(r.results, vec![5; 4]);
+    }
+
+    #[test]
+    fn serial_increments_under_lock_sum_correctly() {
+        const PER_NODE: u64 = 20;
+        let n = 4;
+        let r = run_ace(n, CostModel::free(), |rt| {
+            let rid = shared_region(rt, 1);
+            for _ in 0..PER_NODE {
+                rt.lock(rid);
+                rt.start_write(rid);
+                rt.with_mut::<u64, _>(rid, |d| d[0] += 1);
+                rt.end_write(rid);
+                rt.unlock(rid);
+            }
+            rt.machine_barrier();
+            rt.start_read(rid);
+            let v = rt.with::<u64, _>(rid, |d| d[0]);
+            rt.end_read(rid);
+            v
+        });
+        assert_eq!(r.results, vec![PER_NODE * n as u64; 4]);
+    }
+
+    #[test]
+    fn ping_pong_writes_alternate() {
+        let r = run_ace(2, CostModel::free(), |rt| {
+            let rid = shared_region(rt, 1);
+            let mut last = 0;
+            for round in 0..10u64 {
+                // Writer alternates; the other node reads after a barrier.
+                if round % 2 == rt.rank() as u64 {
+                    rt.start_write(rid);
+                    rt.with_mut::<u64, _>(rid, |d| d[0] = round + 1);
+                    rt.end_write(rid);
+                }
+                rt.machine_barrier();
+                rt.start_read(rid);
+                last = rt.with::<u64, _>(rid, |d| d[0]);
+                rt.end_read(rid);
+                assert_eq!(last, round + 1);
+                rt.machine_barrier();
+            }
+            last
+        });
+        assert_eq!(r.results, vec![10, 10]);
+    }
+
+    #[test]
+    fn flush_returns_exclusive_data_home() {
+        let r = run_ace(2, CostModel::free(), |rt| {
+            let s = rt.new_space(sc());
+            let rid = if rt.rank() == 0 {
+                RegionId(rt.bcast(0, &[rt.gmalloc_words(s, 1).0])[0])
+            } else {
+                RegionId(rt.bcast(0, &[])[0])
+            };
+            rt.map(rid);
+            if rt.rank() == 1 {
+                rt.start_write(rid);
+                rt.with_mut::<u64, _>(rid, |d| d[0] = 42);
+                rt.end_write(rid);
+            }
+            rt.machine_barrier();
+            // Changing to a fresh SC protocol forces the flush path.
+            rt.change_protocol(s, sc());
+            if rt.rank() == 0 {
+                rt.start_read(rid);
+                let v = rt.with::<u64, _>(rid, |d| d[0]);
+                rt.end_read(rid);
+                v
+            } else {
+                42
+            }
+        });
+        assert_eq!(r.results, vec![42, 42]);
+    }
+
+    #[test]
+    fn concurrent_mixed_readers_writers_converge() {
+        // A stress test: every node alternates reads and locked
+        // read-modify-writes with no barriers in between; at the end the
+        // counter equals the number of locked increments.
+        const INCS: u64 = 15;
+        let n = 6;
+        let r = run_ace(n, CostModel::free(), |rt| {
+            let rid = shared_region(rt, 1);
+            for i in 0..INCS {
+                rt.lock(rid);
+                rt.start_write(rid);
+                rt.with_mut::<u64, _>(rid, |d| d[0] += 1);
+                rt.end_write(rid);
+                rt.unlock(rid);
+                if i % 3 == 0 {
+                    rt.start_read(rid);
+                    let v = rt.with::<u64, _>(rid, |d| d[0]);
+                    rt.end_read(rid);
+                    assert!(v >= i + 1);
+                }
+            }
+            rt.machine_barrier();
+            rt.start_read(rid);
+            let v = rt.with::<u64, _>(rid, |d| d[0]);
+            rt.end_read(rid);
+            v
+        });
+        assert_eq!(r.results, vec![INCS * n as u64; 6]);
+    }
+}

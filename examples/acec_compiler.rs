@@ -1,0 +1,65 @@
+//! The Ace compiler pipeline, end to end (§4.2): compile an Ace-C program
+//! at each optimization level and watch the protocol-call counts fall.
+//!
+//! Run with: `cargo run --release --example acec_compiler`
+
+use ace::core::{run_ace, CostModel};
+use ace::lang::{compile, run_program, OptLevel, SystemConfig};
+
+const PROGRAM: &str = r#"
+// A producer/consumer kernel under a static update protocol: node 0
+// writes a vector each step; everyone reads it.
+double main() {
+    int N = 64;
+    int STEPS = 10;
+    space s = new_space("SC");
+    shared double *v;
+    if (rank() == 0) { v = (shared double*) gmalloc(s, 64); }
+    v = (shared double*) bcast_p(0, v);
+    barrier(s);
+    change_protocol(s, "StaticUpdate");
+
+    int t;
+    int i;
+    double acc = 0.0;
+    for (t = 0; t < STEPS; t = t + 1) {
+        if (rank() == 0) {
+            for (i = 0; i < N; i = i + 1) { v[i] = t * 100.0 + i; }
+        }
+        barrier(s);
+        for (i = 0; i < N; i = i + 1) { acc = acc + v[i]; }
+        barrier(s);
+    }
+    return reduce_add(acc);
+}
+"#;
+
+fn main() {
+    let cfg = SystemConfig::builtin();
+    println!("compiling a 30-line Ace-C program at each optimization level (4 procs):\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "level", "dispatched", "direct", "removed", "sim (ms)", "checksum"
+    );
+    for level in OptLevel::ALL {
+        let prog = compile(PROGRAM, &cfg, level).expect("program compiles");
+        let (d, di, _) = prog.annotation_stats();
+        let r = run_ace(4, CostModel::cm5(), |rt| {
+            let v = run_program(rt, &prog).unwrap().as_f();
+            let c = rt.counters();
+            (v, c.dispatched, c.direct)
+        });
+        let (v, dyn_disp, dyn_direct) = r.results[0];
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>12.3} {:>12.1}",
+            level.label(),
+            dyn_disp,
+            dyn_direct,
+            d + di, // static annotation count for reference
+            r.sim_ns as f64 / 1e6,
+            v
+        );
+    }
+    println!("\nthe checksum is identical at every level; only the protocol-call");
+    println!("placement changes (Figure 5's insertion, then §4.2's three passes)");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the Ace programming model in one file.
+//!
+//! Launches a 4-processor simulated machine, allocates a shared region
+//! from a space, and shows the paper's headline trick: changing the
+//! data structure's coherence protocol with one call
+//! (`Ace_ChangeProtocol`), without touching the access code.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ace::core::{run_ace, CostModel, RegionId};
+use ace::protocols::{make, ProtoSpec};
+
+fn main() {
+    let outcome = run_ace(4, CostModel::cm5(), |rt| {
+        // 1. Create a space with the default sequentially-consistent
+        //    protocol (Ace_NewSpace).
+        let space = rt.new_space(make(ProtoSpec::Sc));
+
+        // 2. Node 0 allocates a region (Ace_GMalloc) and broadcasts its
+        //    id — region ids are plain values, meaningful everywhere.
+        let rid = if rt.rank() == 0 {
+            RegionId(rt.bcast(0, &[rt.gmalloc::<f64>(space, 8).0])[0])
+        } else {
+            RegionId(rt.bcast(0, &[])[0])
+        };
+
+        // 3. Map it and access it between START/END annotations.
+        rt.map(rid);
+        if rt.rank() == 0 {
+            rt.start_write(rid);
+            rt.with_mut::<f64, _>(rid, |v| {
+                for (i, x) in v.iter_mut().enumerate() {
+                    *x = i as f64 * 1.5;
+                }
+            });
+            rt.end_write(rid);
+        }
+        rt.barrier(space);
+
+        rt.start_read(rid);
+        let sum: f64 = rt.with::<f64, _>(rid, |v| v.iter().sum());
+        rt.end_read(rid);
+        assert_eq!(sum, 42.0);
+
+        // 4. The two-line protocol swap of Figure 2: producer/consumer
+        //    data moves to a dynamic update protocol; the access code
+        //    below is untouched.
+        rt.change_protocol(space, make(ProtoSpec::DynUpdate));
+
+        for step in 0..3u64 {
+            if rt.rank() == 0 {
+                rt.start_write(rid);
+                rt.with_mut::<f64, _>(rid, |v| v[0] = step as f64 + 1.0);
+                rt.end_write(rid);
+            }
+            rt.barrier(space); // update protocol: pushes drain here
+            rt.start_read(rid);
+            let seen = rt.with::<f64, _>(rid, |v| v[0]);
+            rt.end_read(rid);
+            assert_eq!(seen, step as f64 + 1.0);
+            rt.barrier(space);
+        }
+        rt.counters().proto_msgs
+    });
+
+    println!("quickstart ran on 4 simulated processors");
+    println!("  simulated time : {:.3} ms", outcome.sim_ns as f64 / 1e6);
+    println!("  wall time      : {:.3} ms", outcome.wall.as_secs_f64() * 1e3);
+    println!("  messages       : {}", outcome.stats.total_msgs());
+    println!("all assertions passed — same access code, two protocols");
+}

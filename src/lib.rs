@@ -1,0 +1,20 @@
+//! Façade crate for the Ace reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] — the Ace runtime (regions, spaces, protocol dispatch),
+//! * [`protocols`] — the protocol library,
+//! * [`crl`] — the CRL baseline DSM,
+//! * [`lang`] — the Ace-C compiler and VM,
+//! * [`apps`] — the paper's five benchmark applications,
+//! * [`machine`] — the simulated distributed machine underneath it all.
+
+pub use ace_apps as apps;
+pub use ace_core as core;
+pub use ace_crl as crl;
+pub use ace_lang as lang;
+pub use ace_machine as machine;
+pub use ace_protocols as protocols;
+
+pub use ace_core::{run_ace, AceRt, CostModel, Pod, RegionId, SpaceId};
