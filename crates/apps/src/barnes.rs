@@ -285,11 +285,7 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
         d.start_write(rid);
         d.with_mut::<Body, _>(rid, |b| {
             b[0] = Body {
-                pos: [
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
-                ],
+                pos: [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
                 vel: [
                     rng.gen_range(-0.05..0.05),
                     rng.gen_range(-0.05..0.05),
@@ -327,11 +323,7 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
                 info.insert(bid, (bp, bm));
             }
             let size = (0..3).map(|a| hi[a] - lo[a]).fold(0.0f64, f64::max) * 1.01 + 1e-9;
-            let center = [
-                (lo[0] + hi[0]) / 2.0,
-                (lo[1] + hi[1]) / 2.0,
-                (lo[2] + hi[2]) / 2.0,
-            ];
+            let center = [(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0, (lo[2] + hi[2]) / 2.0];
             let mut tree = BuildTree::new(size, center);
             tree.info = info;
             for &bid in &body_ids {
@@ -401,9 +393,8 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
     for &rid in &my_ids {
         d.map(rid);
         d.start_read(rid);
-        local += d.with::<Body, _>(rid, |b| {
-            b[0].pos[0].abs() + b[0].pos[1].abs() + b[0].pos[2].abs()
-        });
+        local +=
+            d.with::<Body, _>(rid, |b| b[0].pos[0].abs() + b[0].pos[1].abs() + b[0].pos[2].abs());
         d.end_read(rid);
         d.unmap(rid);
     }
@@ -448,11 +439,7 @@ mod tests {
             t.info.insert(
                 i,
                 (
-                    [
-                        rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
-                    ],
+                    [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
                     1.0,
                 ),
             );

@@ -62,9 +62,8 @@ fn l0_block(p: &Params, i: usize, j: usize) -> Vec<f64> {
     if i < j || i - j > p.band {
         return m;
     }
-    let mut rng = StdRng::seed_from_u64(
-        p.seed ^ ((i as u64) << 32) ^ ((j as u64) << 8) ^ 0xB5C0_u64,
-    );
+    let mut rng =
+        StdRng::seed_from_u64(p.seed ^ ((i as u64) << 32) ^ ((j as u64) << 8) ^ 0xB5C0_u64);
     if i == j {
         for r in 0..b {
             for c in 0..=r {

@@ -7,6 +7,8 @@
 //! calls are inert, exactly as porting the paper's apps to CRL erased the
 //! space annotations.
 
+use std::sync::Arc;
+
 use ace_core::{AceRt, Pod, RegionId, SpaceId};
 use ace_crl::CrlRt;
 use ace_protocols::{make, ProtoSpec};
@@ -55,8 +57,9 @@ pub trait Dsm {
     /// Region unlock.
     fn unlock(&self, r: u64);
 
-    /// Broadcast words from `root`. Collective.
-    fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]>;
+    /// Broadcast words from `root`. Collective. The payload is shared
+    /// zero-copy with the wire messages.
+    fn bcast(&self, root: usize, vals: &[u64]) -> Arc<[u64]>;
     /// All-reduce one u64. Collective.
     fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64;
     /// All-reduce one f64. Collective.
@@ -134,7 +137,7 @@ impl Dsm for AceDsm<'_, '_> {
     fn unlock(&self, r: u64) {
         self.rt.unlock(RegionId(r));
     }
-    fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]> {
+    fn bcast(&self, root: usize, vals: &[u64]) -> Arc<[u64]> {
         self.rt.bcast(root, vals)
     }
     fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64 {
@@ -215,7 +218,7 @@ impl Dsm for CrlDsm<'_, '_> {
     fn unlock(&self, r: u64) {
         self.crl.unlock(RegionId(r));
     }
-    fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]> {
+    fn bcast(&self, root: usize, vals: &[u64]) -> Arc<[u64]> {
         self.crl.bcast(root, vals)
     }
     fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64 {
@@ -235,7 +238,7 @@ impl Dsm for CrlDsm<'_, '_> {
 /// Distribute each node's id list to everyone: node `k`'s `ids` arrive in
 /// slot `k`. A common setup step for the apps (the analogue of storing
 /// `address_t`s into shared bootstrap structures).
-pub fn exchange_ids<D: Dsm>(d: &D, ids: &[u64]) -> Vec<Box<[u64]>> {
+pub fn exchange_ids<D: Dsm>(d: &D, ids: &[u64]) -> Vec<Arc<[u64]>> {
     (0..d.nprocs()).map(|root| d.bcast(root, ids)).collect()
 }
 

@@ -59,12 +59,28 @@ impl Params {
     /// The paper's input (Table 3): 1000 E and 1000 H vertices, 20%
     /// remote edges, degree 10, 100 steps.
     pub fn paper() -> Self {
-        Params { e_nodes: 1000, h_nodes: 1000, degree: 10, pct_remote: 20, steps: 100, seed: 7, hoist_maps: false }
+        Params {
+            e_nodes: 1000,
+            h_nodes: 1000,
+            degree: 10,
+            pct_remote: 20,
+            steps: 100,
+            seed: 7,
+            hoist_maps: false,
+        }
     }
 
     /// A scaled-down input for unit tests.
     pub fn small() -> Self {
-        Params { e_nodes: 48, h_nodes: 48, degree: 4, pct_remote: 25, steps: 4, seed: 7, hoist_maps: false }
+        Params {
+            e_nodes: 48,
+            h_nodes: 48,
+            degree: 4,
+            pct_remote: 25,
+            steps: 4,
+            seed: 7,
+            hoist_maps: false,
+        }
     }
 }
 
@@ -201,7 +217,7 @@ fn build_adjacency<D: Dsm>(
     p: &Params,
     other_total: usize,
     rng: &mut StdRng,
-    other_ids: &[Box<[u64]>],
+    other_ids: &[std::sync::Arc<[u64]>],
     my_count: usize,
 ) -> (Vec<Vec<u64>>, Vec<Vec<f64>>) {
     let mut nbr_ids = Vec::with_capacity(my_count);
@@ -210,7 +226,7 @@ fn build_adjacency<D: Dsm>(
         let mut ids = Vec::with_capacity(p.degree);
         let mut ws = Vec::with_capacity(p.degree);
         for _ in 0..p.degree {
-            let owner = if d.nprocs() > 1 && rng.gen_range(0..100) < p.pct_remote {
+            let owner = if d.nprocs() > 1 && rng.gen_range(0u32..100) < p.pct_remote {
                 let r = rng.gen_range(0..d.nprocs() - 1);
                 if r >= d.rank() {
                     r + 1
@@ -237,10 +253,14 @@ fn build_adjacency<D: Dsm>(
 /// Run EM3D under a [`Variant`] (the custom variant uses the static
 /// update protocol, the paper's best).
 pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
-    run_with(d, p, match v {
-        Variant::Sc => Em3dProto::Sc,
-        Variant::Custom => Em3dProto::Static,
-    })
+    run_with(
+        d,
+        p,
+        match v {
+            Variant::Sc => Em3dProto::Sc,
+            Variant::Custom => Em3dProto::Static,
+        },
+    )
 }
 
 #[cfg(test)]

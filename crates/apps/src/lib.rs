@@ -15,6 +15,9 @@
 //! Every app returns a deterministic verification value so the harnesses
 //! can assert that protocol and runtime choices never change results.
 
+// The kernels transliterate the paper's C loops; explicit indexing is the idiom.
+#![allow(clippy::needless_range_loop)]
+
 pub mod barnes;
 pub mod bsc;
 pub mod dsm;

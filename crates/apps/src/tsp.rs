@@ -130,10 +130,7 @@ pub fn greedy_bound(dist: &[Vec<u64>]) -> u64 {
     let mut at = 0usize;
     let mut total = 0u64;
     for _ in 1..n {
-        let next = (0..n)
-            .filter(|&c| !used[c])
-            .min_by_key(|&c| dist[at][c])
-            .unwrap();
+        let next = (0..n).filter(|&c| !used[c]).min_by_key(|&c| dist[at][c]).unwrap();
         total += dist[at][next];
         used[next] = true;
         at = next;

@@ -109,7 +109,6 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
     }
     d.barrier(mols_space);
 
-
     // My share of the pairs: the SPLASH half-shell decomposition — the
     // owner of molecule i computes interactions (i, i+1), ..., (i, i+n/2)
     // modulo n, so half of every pair's force writes hit locally-owned
@@ -122,7 +121,7 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
                 let j = (i + k) % n;
                 // For even n the diameter pair would be computed twice
                 // (once from each end); keep it only on the lower index.
-                if n % 2 == 0 && k == half && i > j {
+                if n.is_multiple_of(2) && k == half && i > j {
                     continue;
                 }
                 v.push((i, j));

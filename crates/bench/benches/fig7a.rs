@@ -1,7 +1,7 @@
 //! Criterion wrapper for Figure 7a: each benchmark's Ace-vs-CRL pair.
 
-use ace_bench::fig7::{run_ace_app, run_crl_app, Scale, APPS};
 use ace_apps::Variant;
+use ace_bench::fig7::{run_ace_app, run_crl_app, Scale, APPS};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

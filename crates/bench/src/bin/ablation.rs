@@ -37,8 +37,7 @@ fn main() {
         let r = ace_core::run_ace(2, CostModel::cm5(), move |rt| {
             let s = rt.new_space(std::rc::Rc::new(ace_protocols::SeqInvalidate::new()));
             let ids: Vec<u64> = if rt.rank() == 0 {
-                let ids: Vec<u64> =
-                    (0..nregions).map(|_| rt.gmalloc_words(s, words).0).collect();
+                let ids: Vec<u64> = (0..nregions).map(|_| rt.gmalloc_words(s, words).0).collect();
                 rt.bcast(0, &ids).to_vec()
             } else {
                 rt.bcast(0, &[]).to_vec()
@@ -55,10 +54,7 @@ fn main() {
             }
             rt.machine_barrier();
         });
-        println!(
-            "  {nregions:>4} regions x {words:>5} words: {:>8.2} ms",
-            r.sim_ns as f64 / 1e6
-        );
+        println!("  {nregions:>4} regions x {words:>5} words: {:>8.2} ms", r.sim_ns as f64 / 1e6);
     }
 
     println!("\n== Ablation 3: CRL unmapped-region-cache capacity (4096-region sweep) ==");

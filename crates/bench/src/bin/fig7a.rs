@@ -1,9 +1,10 @@
 //! Figure 7a: Ace runtime system versus CRL, both under the default
 //! sequentially-consistent invalidation protocol.
 //!
-//! Usage: fig7a [--small|--paper] [--procs N] [--runs K]
+//! Usage: fig7a [--small|--paper] [--procs N] [--runs K] [--json PATH]
 
 use ace_bench::fig7::{fig7a, Scale};
+use ace_bench::json::{self, JsonRow};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,10 +20,25 @@ fn main() {
 
     println!("Figure 7a: Ace runtime vs CRL (SC protocol), {procs} procs, avg of {runs} runs");
     println!("{:<12} {:>12} {:>12} {:>10}", "benchmark", "Ace (ms)", "CRL (ms)", "CRL/Ace");
-    for r in fig7a(scale, procs, runs) {
+    let rows = fig7a(scale, procs, runs);
+    for r in &rows {
         println!("{:<12} {:>12.2} {:>12.2} {:>10.2}", r.app, r.ace_ms, r.crl_ms, r.ratio);
     }
     println!("\n(simulated time on the CM-5-flavoured cost model; >1 means Ace is faster)");
+
+    if let Some(path) = arg_str(&args, "--json") {
+        let mut out = Vec::new();
+        for r in &rows {
+            out.push(JsonRow::new("fig7a", &r.app, "ace", r.ace));
+            out.push(JsonRow::new("fig7a", &r.app, "crl", r.crl));
+        }
+        json::write(std::path::Path::new(&path), &out).expect("write --json file");
+        println!("wrote {} rows to {path}", out.len());
+    }
+}
+
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn arg_val(args: &[String], key: &str) -> Option<usize> {

@@ -1,9 +1,10 @@
 //! Figure 7b: single (SC) protocol versus application-specific protocols
 //! in Ace.
 //!
-//! Usage: fig7b [--small|--paper] [--procs N] [--runs K]
+//! Usage: fig7b [--small|--paper] [--procs N] [--runs K] [--json PATH]
 
 use ace_bench::fig7::{fig7b, Scale};
+use ace_bench::json::{self, JsonRow};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,6 +30,20 @@ fn main() {
     println!("\naverage speedup: {avg:.2} (paper: range 1.02-5, average ~2)");
     println!("custom protocols: barnes=dynamic update, bsc=home-owned, em3d=static update,");
     println!("                  tsp=fetch-and-add counter, water=null+pipelined phases");
+
+    if let Some(path) = arg_str(&args, "--json") {
+        let mut out = Vec::new();
+        for r in &rows {
+            out.push(JsonRow::new("fig7b", &r.app, "sc", r.sc));
+            out.push(JsonRow::new("fig7b", &r.app, "custom", r.custom));
+        }
+        json::write(std::path::Path::new(&path), &out).expect("write --json file");
+        println!("wrote {} rows to {path}", out.len());
+    }
+}
+
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn arg_val(args: &[String], key: &str) -> Option<usize> {

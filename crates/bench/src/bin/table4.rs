@@ -1,9 +1,10 @@
 //! Table 4: effects of the compiler optimizations on the benchmark
 //! kernels, against hand-written runtime-system code.
 //!
-//! Usage: table4 [--procs N]
+//! Usage: table4 [--procs N] [--json PATH]
 
 use ace_bench::acec::table4;
+use ace_bench::json::{self, JsonRow};
 use ace_lang::OptLevel;
 
 fn main() {
@@ -43,5 +44,19 @@ fn main() {
             r.verification.0,
             r.verification.1
         );
+    }
+
+    if let Some(path) =
+        args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned()
+    {
+        let mut out = Vec::new();
+        for r in &rows {
+            for (i, level) in OptLevel::ALL.iter().enumerate() {
+                out.push(JsonRow::new("table4", r.app, level.label(), r.level_stats[i]));
+            }
+            out.push(JsonRow::new("table4", r.app, "hand", r.hand_stats));
+        }
+        json::write(std::path::Path::new(&path), &out).expect("write --json file");
+        println!("wrote {} rows to {path}", out.len());
     }
 }

@@ -1,0 +1,104 @@
+//! Machine-readable benchmark output.
+//!
+//! Each harness binary accepts `--json <path>` and appends one row per
+//! (app, configuration) pair so successive PRs can track the perf
+//! trajectory as `BENCH_*.json` files. The format is a plain JSON array
+//! of flat objects — simulated ns, wall ns, message count, payload bytes
+//! — written by hand because the workspace builds offline (no serde).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::fig7::VariantStats;
+
+/// One emitted row: a benchmark under one configuration.
+#[derive(Debug, Clone)]
+pub struct JsonRow {
+    /// Which table produced the row ("fig7a", "fig7b", "table4").
+    pub table: &'static str,
+    /// Benchmark name.
+    pub app: String,
+    /// Configuration within the table (e.g. "sc", "custom", "crl", an
+    /// optimization level, or "hand").
+    pub config: &'static str,
+    /// Accounting for the run.
+    pub stats: VariantStats,
+}
+
+impl JsonRow {
+    /// Row from a [`VariantStats`].
+    pub fn new(table: &'static str, app: &str, config: &'static str, stats: VariantStats) -> Self {
+        JsonRow { table, app: app.to_string(), config, stats }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render rows as a JSON array (one object per line, for easy diffing).
+pub fn render(rows: &[JsonRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"table\":\"{}\",\"app\":\"{}\",\"config\":\"{}\",\"sim_ns\":{},\"wall_ns\":{},\"msgs\":{},\"bytes\":{}}}",
+            escape(r.table),
+            escape(&r.app),
+            escape(r.config),
+            r.stats.sim_ns,
+            r.stats.wall_ns,
+            r.stats.msgs,
+            r.stats.bytes,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write rows to `path`, replacing any existing file.
+pub fn write(path: &Path, rows: &[JsonRow]) -> std::io::Result<()> {
+    std::fs::write(path, render(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_rows() {
+        let rows = vec![
+            JsonRow::new(
+                "fig7b",
+                "em3d",
+                "sc",
+                VariantStats { sim_ns: 10, wall_ns: 20, msgs: 3, bytes: 4 },
+            ),
+            JsonRow::new("fig7b", "em3d", "custom", VariantStats::default()),
+        ];
+        let s = render(&rows);
+        assert!(s.starts_with("[\n"));
+        assert!(s.contains("\"sim_ns\":10"));
+        assert!(s.contains("\"config\":\"custom\""));
+        assert_eq!(s.matches('{').count(), 2);
+    }
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let row = JsonRow::new("t", "we\"ird\\na\nme", "sc", VariantStats::default());
+        let s = render(&[row]);
+        assert!(s.contains("we\\\"ird\\\\na\\u000ame"));
+    }
+}

@@ -33,13 +33,21 @@ pub struct OpCounters {
     /// Calls made directly to a known protocol (compiler direct dispatch,
     /// or a fixed-protocol runtime).
     pub direct: u64,
+    /// Region lookups satisfied by the inline direct-mapped cache.
+    pub region_cache_hits: u64,
+    /// Region lookups that fell through to the hash table.
+    pub region_cache_misses: u64,
 }
 
 impl OpCounters {
     /// Total annotation-style calls (maps + starts + ends + unmaps), the
     /// quantity the paper's compiler optimizations reduce.
     pub fn total_annotations(&self) -> u64 {
-        self.map_hits + self.map_misses + self.unmaps + self.start_reads + self.start_writes
+        self.map_hits
+            + self.map_misses
+            + self.unmaps
+            + self.start_reads
+            + self.start_writes
             + self.ends
     }
 
@@ -58,6 +66,15 @@ impl OpCounters {
         self.proto_msgs += o.proto_msgs;
         self.dispatched += o.dispatched;
         self.direct += o.direct;
+        self.region_cache_hits += o.region_cache_hits;
+        self.region_cache_misses += o.region_cache_misses;
+    }
+
+    /// Fraction of region lookups absorbed by the inline cache, or `None`
+    /// before any lookup ran.
+    pub fn region_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.region_cache_hits + self.region_cache_misses;
+        (total > 0).then(|| self.region_cache_hits as f64 / total as f64)
     }
 }
 

@@ -1,4 +1,13 @@
 //! Wire messages of the Ace runtime.
+//!
+//! Bulk payloads travel as `Arc<[u64]>`: a fan-out of one payload to N
+//! sharers is N refcount bumps, not N deep copies. The simulated network
+//! still charges full payload bytes per message ([`MsgSize`] reports
+//! `len * 8` exactly as it would for an owned buffer), so zero-copy is
+//! purely a wall-clock optimization — simulated time, message counts, and
+//! byte counts are unchanged.
+
+use std::sync::Arc;
 
 use ace_machine::MsgSize;
 
@@ -19,8 +28,9 @@ pub struct ProtoMsg {
     pub from: u16,
     /// Protocol-defined scalar argument.
     pub arg: u64,
-    /// Optional bulk payload (region data, deltas, ...).
-    pub data: Option<Box<[u64]>>,
+    /// Optional bulk payload (region data, deltas, ...), shared zero-copy
+    /// with the sender; receivers that mutate must copy-on-write.
+    pub data: Option<Arc<[u64]>>,
 }
 
 /// Everything that travels between Ace nodes.
@@ -45,9 +55,9 @@ pub enum AceMsg {
     LockRelease { region: RegionId },
     /// Broadcast payload from a root node (used to distribute root region
     /// ids after setup, like exchanging `address_t`s in the paper's apps).
-    Bcast { seq: u64, vals: Box<[u64]> },
+    Bcast { seq: u64, vals: Arc<[u64]> },
     /// One node's contribution to a gather at a root node.
-    Gather { seq: u64, vals: Box<[u64]> },
+    Gather { seq: u64, vals: Arc<[u64]> },
 }
 
 impl MsgSize for AceMsg {
@@ -74,7 +84,7 @@ mod tests {
             op: 3,
             from: 0,
             arg: 0,
-            data: Some(vec![0u64; 10].into_boxed_slice()),
+            data: Some(Arc::from(vec![0u64; 10])),
         });
         assert_eq!(m.size_bytes(), 12 + 80);
         let m2 = AceMsg::Proto(ProtoMsg {
@@ -89,7 +99,24 @@ mod tests {
 
     #[test]
     fn bcast_size_scales() {
-        let m = AceMsg::Bcast { seq: 0, vals: vec![1, 2, 3].into_boxed_slice() };
+        let m = AceMsg::Bcast { seq: 0, vals: Arc::from(vec![1, 2, 3]) };
         assert_eq!(m.size_bytes(), 8 + 24);
+    }
+
+    #[test]
+    fn shared_payload_charges_full_bytes_per_message() {
+        // Zero-copy must not change bandwidth accounting: two messages
+        // sharing one Arc payload still charge the payload twice.
+        let payload: Arc<[u64]> = Arc::from(vec![0u64; 16]);
+        let mk = || {
+            AceMsg::Proto(ProtoMsg {
+                region: RegionId::new(0, 1),
+                op: 1,
+                from: 0,
+                arg: 0,
+                data: Some(payload.clone()),
+            })
+        };
+        assert_eq!(mk().size_bytes() + mk().size_bytes(), 2 * (12 + 128));
     }
 }

@@ -1,9 +1,28 @@
 //! Per-node bookkeeping for one shared region.
+//!
+//! Region data lives in an `Arc<[u64]>` so protocol messages can carry the
+//! payload zero-copy: snapshotting for the wire ([`RegionEntry::share_data`])
+//! is a refcount bump, and installing a received full-region payload
+//! ([`RegionEntry::install_shared`]) is a pointer swap. The invariant that
+//! makes this safe is that *every* local mutation goes through
+//! [`RegionEntry::with_data_mut`], which copies-on-write when the buffer is
+//! shared — an outstanding wire snapshot (or another node's installed
+//! alias) is therefore never observably mutated.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::ids::{RegionId, SpaceId};
+
+/// Get a mutable view of an `Arc<[u64]>` buffer, copying first if the
+/// buffer is shared. (`Arc::make_mut` requires `Sized`, hence manual COW.)
+fn cow_slice(slot: &mut Arc<[u64]>) -> &mut [u64] {
+    if Arc::strong_count(slot) != 1 || Arc::weak_count(slot) != 0 {
+        *slot = Arc::from(&slot[..]);
+    }
+    Arc::get_mut(slot).expect("uniquely owned after copy-on-write")
+}
 
 /// Node-local state for one region: the cached data, access bookkeeping,
 /// and a bag of protocol-owned fields.
@@ -24,8 +43,9 @@ pub struct RegionEntry {
     pub words: usize,
     /// The local copy of the region's data. At the home node this is the
     /// master copy; elsewhere it is a cache whose validity the protocol
-    /// tracks in `st`.
-    pub data: RefCell<Box<[u64]>>,
+    /// tracks in `st`. Shared zero-copy with in-flight messages; mutate
+    /// only through [`RegionEntry::with_data_mut`].
+    pub data: RefCell<Arc<[u64]>>,
     /// Map count (maps nest, per CRL semantics).
     pub mapped: Cell<u32>,
     /// Number of open read sections.
@@ -47,8 +67,9 @@ pub struct RegionEntry {
     /// Requests that arrived while the region was in a transient state,
     /// replayed when the region quiesces: `(from, op, arg)`.
     pub blocked: RefCell<VecDeque<(u16, u16, u64)>>,
-    /// Twin buffer for diffing protocols (pipelined delta writes).
-    pub twin: RefCell<Option<Box<[u64]>>>,
+    /// Twin buffer for diffing protocols (pipelined delta writes). Taken
+    /// as a zero-copy snapshot of `data`; copy-on-write keeps it frozen.
+    pub twin: RefCell<Option<Arc<[u64]>>>,
 
     // ---- default region lock (home side + requester side) ----
     /// Home side: lock currently held by someone.
@@ -66,7 +87,7 @@ impl RegionEntry {
             id,
             space,
             words,
-            data: RefCell::new(vec![0u64; words].into_boxed_slice()),
+            data: RefCell::new(Arc::from(vec![0u64; words])),
             mapped: Cell::new(0),
             read_active: Cell::new(0),
             write_active: Cell::new(0),
@@ -93,9 +114,24 @@ impl RegionEntry {
         self.read_active.get() > 0 || self.write_active.get() > 0
     }
 
-    /// Snapshot the current data (bulk transfer payload).
-    pub fn clone_data(&self) -> Box<[u64]> {
+    /// Snapshot the current data for the wire: a refcount bump, not a
+    /// copy. The snapshot stays frozen because all local mutation goes
+    /// through [`RegionEntry::with_data_mut`] (copy-on-write).
+    pub fn share_data(&self) -> Arc<[u64]> {
         self.data.borrow().clone()
+    }
+
+    /// Snapshot the current data (bulk transfer payload). Zero-copy alias
+    /// of [`RegionEntry::share_data`], kept under the historical name.
+    pub fn clone_data(&self) -> Arc<[u64]> {
+        self.share_data()
+    }
+
+    /// Mutate the region data in place, copying first if the buffer is
+    /// aliased by an in-flight message, a twin, or another entry.
+    pub fn with_data_mut<R>(&self, f: impl FnOnce(&mut [u64]) -> R) -> R {
+        let mut slot = self.data.borrow_mut();
+        f(cow_slice(&mut slot))
     }
 
     /// Overwrite the local copy with incoming data.
@@ -104,9 +140,21 @@ impl RegionEntry {
     ///
     /// Panics if the payload size does not match the region size.
     pub fn install_data(&self, incoming: &[u64]) {
-        let mut d = self.data.borrow_mut();
-        assert_eq!(incoming.len(), d.len(), "payload size mismatch for {}", self.id);
-        d.copy_from_slice(incoming);
+        let mut slot = self.data.borrow_mut();
+        assert_eq!(incoming.len(), slot.len(), "payload size mismatch for {}", self.id);
+        cow_slice(&mut slot).copy_from_slice(incoming);
+    }
+
+    /// Adopt a full-region payload by reference: a pointer swap, aliasing
+    /// the sender's buffer. Copy-on-write protects both sides afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload size does not match the region size.
+    pub fn install_shared(&self, incoming: Arc<[u64]>) {
+        let mut slot = self.data.borrow_mut();
+        assert_eq!(incoming.len(), slot.len(), "payload size mismatch for {}", self.id);
+        *slot = incoming;
     }
 
     /// Add `rank` to the sharer bitmask.
@@ -173,6 +221,42 @@ mod tests {
     #[should_panic(expected = "payload size mismatch")]
     fn mismatched_install_panics() {
         entry(3).install_data(&[1, 2]);
+    }
+
+    #[test]
+    fn cow_write_never_mutates_outstanding_snapshot() {
+        let e = entry(3);
+        e.install_data(&[1, 2, 3]);
+        let snap = e.share_data();
+        e.with_data_mut(|d| d[0] = 99);
+        assert_eq!(&*snap, &[1, 2, 3], "wire snapshot must stay frozen");
+        assert_eq!(&*e.share_data(), &[99, 2, 3]);
+    }
+
+    #[test]
+    fn install_shared_aliases_until_first_write() {
+        let e = entry(2);
+        let payload: Arc<[u64]> = Arc::from(vec![5, 6]);
+        e.install_shared(payload.clone());
+        assert!(Arc::ptr_eq(&payload, &e.data.borrow()), "install is a pointer swap");
+        e.with_data_mut(|d| d[1] = 7);
+        assert_eq!(&*payload, &[5, 6], "sender's buffer untouched by receiver write");
+        assert_eq!(&*e.share_data(), &[5, 7]);
+    }
+
+    #[test]
+    fn unshared_mutation_stays_in_place() {
+        let e = entry(2);
+        e.install_data(&[3, 4]);
+        let p0 = e.data.borrow().as_ptr();
+        e.with_data_mut(|d| d[0] = 8);
+        assert_eq!(p0, e.data.borrow().as_ptr(), "no copy when uniquely owned");
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn mismatched_install_shared_panics() {
+        entry(3).install_shared(Arc::from(vec![1, 2]));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use ace_machine::pod::{self, Pod};
 use ace_machine::{Envelope, Node};
@@ -18,12 +19,43 @@ use crate::space::SpaceEntry;
 /// the space id).
 const GLOBAL_BAR_TAG: u32 = u32::MAX;
 
+/// Slots in the direct-mapped region-lookup cache. Fine-grained apps give
+/// every value its own region (EM3D: one word per graph node), so a
+/// compute sweep touches hundreds of distinct regions per step; a
+/// direct-mapped cache thrashes on any working set bigger than itself, so
+/// it must comfortably exceed per-node working sets. 4096 slots ≈ 96 KiB
+/// per node — noise next to the region data, and conflict misses stay
+/// rare up to several hundred live regions.
+const REGION_CACHE_SLOTS: usize = 4096;
+
+/// Sentinel key for an empty region-cache slot (no valid `RegionId` uses
+/// it: ids are `rank << 32 | seq` with rank bounded by `MAX_NODES`).
+const REGION_CACHE_EMPTY: u64 = u64::MAX;
+
+/// Per-collective gather buffer: contributions tagged by source rank.
+type GatherBuf = Vec<(usize, Arc<[u64]>)>;
+
+fn region_cache_slot(r: RegionId) -> usize {
+    // Fibonacci hashing. Region ids are `home << 32 | seq` with *per-home*
+    // sequential seqs, so plain masking (or xor-folding) would land every
+    // home's regions on the same densely-packed slot range; one odd
+    // multiply spreads both fields across the whole index space.
+    const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+    (r.0.wrapping_mul(PHI) >> 52) as usize % REGION_CACHE_SLOTS
+}
+
 /// The per-node runtime. One `AceRt` exists per simulated processor; all
 /// interior state is node-local (`Cell`/`RefCell`), and all cross-node
 /// effects go through typed messages on the underlying [`Node`].
 pub struct AceRt<'n> {
     node: &'n Node<AceMsg>,
     regions: RefCell<HashMap<u64, Rc<RegionEntry>>>,
+    // Direct-mapped fast path in front of `regions`. Counters live in
+    // plain `Cell`s, not `counters`, so `lookup` never re-borrows the
+    // `OpCounters` RefCell from inside `counters_mut` callbacks.
+    region_cache: RefCell<Vec<(u64, Option<Rc<RegionEntry>>)>>,
+    rc_hits: Cell<u64>,
+    rc_misses: Cell<u64>,
     spaces: RefCell<HashMap<u32, Rc<SpaceEntry>>>,
     next_region_seq: Cell<u64>,
     next_space: Cell<u32>,
@@ -34,9 +66,9 @@ pub struct AceRt<'n> {
     bar_counts: RefCell<HashMap<(u32, u64), usize>>,
     // Collective data exchange.
     bcast_seq: Cell<u64>,
-    bcast_recv: RefCell<HashMap<u64, Box<[u64]>>>,
+    bcast_recv: RefCell<HashMap<u64, Arc<[u64]>>>,
     gather_seq: Cell<u64>,
-    gather_recv: RefCell<HashMap<u64, Vec<(usize, Box<[u64]>)>>>,
+    gather_recv: RefCell<HashMap<u64, GatherBuf>>,
     counters: RefCell<OpCounters>,
 }
 
@@ -46,6 +78,9 @@ impl<'n> AceRt<'n> {
         AceRt {
             node,
             regions: RefCell::new(HashMap::new()),
+            region_cache: RefCell::new(vec![(REGION_CACHE_EMPTY, None); REGION_CACHE_SLOTS]),
+            rc_hits: Cell::new(0),
+            rc_misses: Cell::new(0),
             spaces: RefCell::new(HashMap::new()),
             next_region_seq: Cell::new(0),
             next_space: Cell::new(0),
@@ -90,9 +125,13 @@ impl<'n> AceRt<'n> {
         self.node.charge(n * self.node.cost().mem);
     }
 
-    /// Snapshot of this node's operation counters.
+    /// Snapshot of this node's operation counters. Region-cache hit/miss
+    /// totals (kept in `Cell`s on the runtime) are folded in here.
     pub fn counters(&self) -> OpCounters {
-        self.counters.borrow().clone()
+        let mut c = self.counters.borrow().clone();
+        c.region_cache_hits += self.rc_hits.get();
+        c.region_cache_misses += self.rc_misses.get();
+        c
     }
 
     /// Mutate the counters (used by the Ace-C VM to account direct calls).
@@ -116,7 +155,7 @@ impl<'n> AceRt<'n> {
         region: RegionId,
         op: u16,
         arg: u64,
-        data: Option<Box<[u64]>>,
+        data: Option<Arc<[u64]>>,
     ) {
         self.send_proto_from(dst, self.rank(), region, op, arg, data);
     }
@@ -131,18 +170,15 @@ impl<'n> AceRt<'n> {
         region: RegionId,
         op: u16,
         arg: u64,
-        data: Option<Box<[u64]>>,
+        data: Option<Arc<[u64]>>,
     ) {
-        self.node.send(
-            dst,
-            AceMsg::Proto(ProtoMsg { region, op, from: from as u16, arg, data }),
-        );
+        self.node.send(dst, AceMsg::Proto(ProtoMsg { region, op, from: from as u16, arg, data }));
     }
 
     /// Service incoming messages until `pred` holds. Protocols use this to
     /// implement their blocking hooks; handlers themselves must not call it.
     pub fn wait(&self, what: &str, pred: impl Fn() -> bool) {
-        self.node.poll_until(what, |_, env| self.dispatch(env), || pred());
+        self.node.poll_until(what, |_, env| self.dispatch(env), pred);
     }
 
     /// Drain any messages that are already queued, without blocking.
@@ -168,10 +204,7 @@ impl<'n> AceRt<'n> {
                 let e = self
                     .lookup(region)
                     .unwrap_or_else(|| panic!("meta request for unknown region {region}"));
-                self.send(
-                    src,
-                    AceMsg::MetaReply { region, space: e.space, words: e.words as u64 },
-                );
+                self.send(src, AceMsg::MetaReply { region, space: e.space, words: e.words as u64 });
             }
             AceMsg::MetaReply { region, space, words } => {
                 // Create the (invalid) cache entry the mapper is waiting on.
@@ -243,11 +276,7 @@ impl<'n> AceRt<'n> {
     ///
     /// Panics if the space does not exist on this node.
     pub fn space(&self, id: SpaceId) -> Rc<SpaceEntry> {
-        self.spaces
-            .borrow()
-            .get(&id.0)
-            .cloned()
-            .unwrap_or_else(|| panic!("unknown space {id}"))
+        self.spaces.borrow().get(&id.0).cloned().unwrap_or_else(|| panic!("unknown space {id}"))
     }
 
     /// Change the protocol of a space (collective). The semantics follow
@@ -263,6 +292,11 @@ impl<'n> AceRt<'n> {
         }
         self.wait("protocol flush drain", || s.outstanding.get() == 0);
         self.machine_barrier();
+        // Entries survive a protocol change (same Rc identity), but clear
+        // the whole lookup cache anyway: it is cheap, the event is rare,
+        // and it keeps the invariant auditable — no cached pointer ever
+        // crosses a protocol epoch.
+        self.region_cache.borrow_mut().fill((REGION_CACHE_EMPTY, None));
         *s.protocol.borrow_mut() = Rc::clone(&new);
         s.dirty.borrow_mut().clear();
         s.aux.set(0);
@@ -301,27 +335,53 @@ impl<'n> AceRt<'n> {
     /// Protocols use this at barriers (e.g. to invalidate cached copies)
     /// and `change_protocol` uses it for the flush/adopt sweep.
     pub fn regions_of_space(&self, sid: SpaceId) -> Vec<Rc<RegionEntry>> {
-        let mut v: Vec<Rc<RegionEntry>> = self
-            .regions
-            .borrow()
-            .values()
-            .filter(|e| e.space == sid)
-            .cloned()
-            .collect();
+        let mut v: Vec<Rc<RegionEntry>> =
+            self.regions.borrow().values().filter(|e| e.space == sid).cloned().collect();
         v.sort_by_key(|e| e.id);
         v
     }
 
     /// Look up a region entry if this node has one.
+    ///
+    /// Every access annotation, protocol handler, and VM instruction funnels
+    /// through here, so a direct-mapped inline cache sits in front of the
+    /// `HashMap`: a hit is one array index and an `Rc` bump, no hashing.
+    /// The cache never outlives the table — [`AceRt::evict`] invalidates the
+    /// victim's slot and [`AceRt::change_protocol`] clears all slots.
     pub fn lookup(&self, r: RegionId) -> Option<Rc<RegionEntry>> {
-        self.regions.borrow().get(&r.0).cloned()
+        let slot = region_cache_slot(r);
+        {
+            let cache = self.region_cache.borrow();
+            let (key, entry) = &cache[slot];
+            if *key == r.0 {
+                if let Some(e) = entry {
+                    self.rc_hits.set(self.rc_hits.get() + 1);
+                    return Some(Rc::clone(e));
+                }
+            }
+        }
+        self.rc_misses.set(self.rc_misses.get() + 1);
+        let e = self.regions.borrow().get(&r.0).cloned();
+        if let Some(e) = &e {
+            self.region_cache.borrow_mut()[slot] = (r.0, Some(Rc::clone(e)));
+        }
+        e
+    }
+
+    /// Drop `r`'s region-cache slot if it holds `r`. Must run whenever an
+    /// entry leaves the `regions` table, or `lookup` would resurrect it.
+    fn region_cache_invalidate(&self, r: RegionId) {
+        let slot = region_cache_slot(r);
+        let mut cache = self.region_cache.borrow_mut();
+        if cache[slot].0 == r.0 {
+            cache[slot] = (REGION_CACHE_EMPTY, None);
+        }
     }
 
     /// Look up a region entry, panicking if the region was never mapped
     /// here (the equivalent of dereferencing an unmapped pointer).
     pub fn entry(&self, r: RegionId) -> Rc<RegionEntry> {
-        self.lookup(r)
-            .unwrap_or_else(|| panic!("region {r} not known on node {}", self.rank()))
+        self.lookup(r).unwrap_or_else(|| panic!("region {r} not known on node {}", self.rank()))
     }
 
     /// Make sure this node has an entry for `r`, fetching metadata from
@@ -501,6 +561,7 @@ impl<'n> AceRt<'n> {
         let proto = self.space(e.space).proto();
         proto.flush(self, &e);
         self.regions.borrow_mut().remove(&r.0);
+        self.region_cache_invalidate(r);
     }
 
     /// Read-access the region data as a typed slice. Must be inside a read
@@ -528,22 +589,17 @@ impl<'n> AceRt<'n> {
     /// (see [`AceRt::with_unchecked`]).
     pub fn with_mut_unchecked<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&mut [T]) -> R) -> R {
         let e = self.entry(r);
-        let mut d = e.data.borrow_mut();
         let count = e.words * 8 / std::mem::size_of::<T>();
-        f(pod::view_mut(&mut d, count))
+        e.with_data_mut(|d| f(pod::view_mut(d, count)))
     }
 
     /// Write-access the region data as a typed slice. Must be inside a
     /// write section (debug-asserted).
     pub fn with_mut<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&mut [T]) -> R) -> R {
         let e = self.entry(r);
-        debug_assert!(
-            e.write_active.get() > 0,
-            "mutable access outside a write section on {r}"
-        );
-        let mut d = e.data.borrow_mut();
+        debug_assert!(e.write_active.get() > 0, "mutable access outside a write section on {r}");
         let count = e.words * 8 / std::mem::size_of::<T>();
-        f(pod::view_mut(&mut d, count))
+        e.with_data_mut(|d| f(pod::view_mut(d, count)))
     }
 
     // ------------------------------------------------------------------
@@ -647,16 +703,18 @@ impl<'n> AceRt<'n> {
     /// Broadcast `vals` from `root` to all nodes; returns the payload on
     /// every node. Collective. The apps use this to distribute the region
     /// ids of freshly-built shared data structures.
-    pub fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]> {
+    pub fn bcast(&self, root: usize, vals: &[u64]) -> Arc<[u64]> {
         let seq = self.bcast_seq.get();
         self.bcast_seq.set(seq + 1);
         if self.rank() == root {
+            // One allocation; every recipient's message aliases it.
+            let payload: Arc<[u64]> = vals.into();
             for dst in 0..self.nprocs() {
                 if dst != root {
-                    self.send(dst, AceMsg::Bcast { seq, vals: vals.into() });
+                    self.send(dst, AceMsg::Bcast { seq, vals: payload.clone() });
                 }
             }
-            vals.into()
+            payload
         } else {
             self.wait("broadcast payload", || self.bcast_recv.borrow().contains_key(&seq));
             self.bcast_recv.borrow_mut().remove(&seq).unwrap()
@@ -665,13 +723,12 @@ impl<'n> AceRt<'n> {
 
     /// Gather each node's `vals` at `root`; returns rank-indexed payloads
     /// at the root and `None` elsewhere. Collective.
-    pub fn gather(&self, root: usize, vals: &[u64]) -> Option<Vec<Box<[u64]>>> {
+    pub fn gather(&self, root: usize, vals: &[u64]) -> Option<Vec<Arc<[u64]>>> {
         let seq = self.gather_seq.get();
         self.gather_seq.set(seq + 1);
         if self.rank() == root {
             self.wait("gather contributions", || {
-                self.gather_recv.borrow().get(&seq).map_or(0, |v| v.len())
-                    == self.nprocs() - 1
+                self.gather_recv.borrow().get(&seq).map_or(0, |v| v.len()) == self.nprocs() - 1
             });
             let mut got = self.gather_recv.borrow_mut().remove(&seq).unwrap_or_default();
             got.push((root, vals.into()));
@@ -917,5 +974,53 @@ mod tests {
         assert_eq!(c.unmaps, 1);
         assert_eq!(c.total_annotations(), 10);
         assert_eq!(c.dispatched, 8);
+    }
+
+    #[test]
+    fn region_cache_absorbs_repeated_lookups() {
+        let r = run_ace(1, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            let rid = rt.gmalloc::<u64>(s, 1);
+            rt.map(rid);
+            for _ in 0..100 {
+                rt.start_read(rid);
+                rt.with::<u64, _>(rid, |d| d[0]);
+                rt.end_read(rid);
+            }
+            rt.counters()
+        });
+        let c = &r.results[0];
+        // First touch misses and fills the slot; steady state all hits.
+        assert!(c.region_cache_misses >= 1);
+        assert!(
+            c.region_cache_hit_rate().unwrap() > 0.9,
+            "tight loop should hit the inline cache: {c:?}"
+        );
+    }
+
+    #[test]
+    fn eviction_invalidates_region_cache() {
+        let r = run_ace(2, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            let rid = if rt.rank() == 0 {
+                RegionId(rt.bcast(0, &[rt.gmalloc::<u64>(s, 1).0])[0])
+            } else {
+                RegionId(rt.bcast(0, &[])[0])
+            };
+            rt.map(rid);
+            // Warm the cache slot, then drop the entry.
+            rt.start_read(rid);
+            rt.end_read(rid);
+            rt.unmap(rid);
+            let gone = if rt.rank() == 1 {
+                rt.evict(rid);
+                rt.lookup(rid).is_none()
+            } else {
+                true // homes are never evicted
+            };
+            rt.machine_barrier();
+            gone
+        });
+        assert_eq!(r.results, vec![true, true], "cached pointer must not outlive the table entry");
     }
 }

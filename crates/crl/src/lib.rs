@@ -26,12 +26,12 @@
 //! setup ("both systems run a sequentially consistent invalidation-based
 //! protocol").
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use ace_core::{run_spmd, AceRt, CostModel, Node, OpCounters, Pod, RegionId, SpmdResult};
 use ace_core::msg::AceMsg;
+use ace_core::{run_spmd, AceRt, CostModel, Node, OpCounters, Pod, RegionId, SpmdResult};
 use ace_protocols::SeqInvalidate;
 
 /// Default capacity of the unmapped-region cache (CRL 1.0's default).
@@ -42,9 +42,15 @@ pub struct CrlRt<'n> {
     rt: AceRt<'n>,
     proto: Rc<SeqInvalidate>,
     space: ace_core::SpaceId,
-    /// LRU queue of unmapped-but-cached remote regions (most recent at the
-    /// back).
-    urc: RefCell<VecDeque<RegionId>>,
+    /// Unmapped-region cache as a lazy-deletion LRU. Membership (and each
+    /// member's current insertion stamp) lives in the hash map, so `map`
+    /// revalidates a cached region in O(1) instead of scanning the queue.
+    /// The queue keeps recency order; entries whose stamp no longer matches
+    /// the map are stale (the region was re-mapped since) and are skipped
+    /// during overflow sweeps. URC size = `urc_members.len()`.
+    urc_members: RefCell<HashMap<RegionId, u64>>,
+    urc_order: RefCell<VecDeque<(u64, RegionId)>>,
+    urc_stamp: Cell<u64>,
     urc_capacity: usize,
 }
 
@@ -60,7 +66,15 @@ impl<'n> CrlRt<'n> {
         let rt = AceRt::new(node);
         let proto = Rc::new(SeqInvalidate::new());
         let space = rt.new_space(proto.clone());
-        CrlRt { rt, proto, space, urc: RefCell::new(VecDeque::new()), urc_capacity }
+        CrlRt {
+            rt,
+            proto,
+            space,
+            urc_members: RefCell::new(HashMap::new()),
+            urc_order: RefCell::new(VecDeque::new()),
+            urc_stamp: Cell::new(0),
+            urc_capacity,
+        }
     }
 
     /// This node's rank.
@@ -114,12 +128,11 @@ impl<'n> CrlRt<'n> {
     pub fn map(&self, r: RegionId) {
         let cost = self.rt.node().cost();
         self.rt.node().charge(cost.map_lookup + cost.crl_map_extra);
-        // A URC hit revalidates the cached mapping.
-        let mut urc = self.urc.borrow_mut();
-        if let Some(pos) = urc.iter().position(|&x| x == r) {
-            urc.remove(pos);
-        }
-        drop(urc);
+        // A URC hit revalidates the cached mapping: O(1) map removal; the
+        // region's queue entry goes stale and is skipped at overflow time.
+        // (The simulated charge above is unchanged — the fast path buys
+        // real wall-clock time, not virtual time.)
+        self.urc_members.borrow_mut().remove(&r);
         let e = self.rt.ensure_entry(r);
         e.mapped.set(e.mapped.get() + 1);
     }
@@ -132,12 +145,20 @@ impl<'n> CrlRt<'n> {
         assert!(e.mapped.get() > 0, "rgn_unmap of unmapped region {r}");
         e.mapped.set(e.mapped.get() - 1);
         if e.mapped.get() == 0 && !e.is_home_of(self.rank()) {
-            let mut urc = self.urc.borrow_mut();
-            urc.push_back(r);
-            if urc.len() > self.urc_capacity {
-                let victim = urc.pop_front().unwrap();
-                drop(urc);
-                self.rt.evict(victim);
+            let stamp = self.urc_stamp.get();
+            self.urc_stamp.set(stamp + 1);
+            // A re-unmapped region gets a fresh stamp: its old queue entry
+            // (if any) goes stale and the region's recency is renewed.
+            self.urc_members.borrow_mut().insert(r, stamp);
+            self.urc_order.borrow_mut().push_back((stamp, r));
+            while self.urc_members.borrow().len() > self.urc_capacity {
+                let (stamp, victim) =
+                    self.urc_order.borrow_mut().pop_front().expect("members ⊆ order queue");
+                let live = self.urc_members.borrow().get(&victim) == Some(&stamp);
+                if live {
+                    self.urc_members.borrow_mut().remove(&victim);
+                    self.rt.evict(victim);
+                }
             }
         }
     }
@@ -194,12 +215,12 @@ impl<'n> CrlRt<'n> {
     }
 
     /// Broadcast (collective), for distributing root region ids.
-    pub fn bcast(&self, root: usize, vals: &[u64]) -> Box<[u64]> {
+    pub fn bcast(&self, root: usize, vals: &[u64]) -> std::sync::Arc<[u64]> {
         self.rt.bcast(root, vals)
     }
 
     /// Gather (collective).
-    pub fn gather(&self, root: usize, vals: &[u64]) -> Option<Vec<Box<[u64]>>> {
+    pub fn gather(&self, root: usize, vals: &[u64]) -> Option<Vec<std::sync::Arc<[u64]>>> {
         self.rt.gather(root, vals)
     }
 
@@ -333,6 +354,44 @@ mod tests {
         assert_eq!(got, &[1, 2, 3, 4, 1, 2, 3, 4]);
         // Evictions force metadata re-fetches on the second sweep.
         assert!(*misses > 4, "URC evictions should cause re-miss, got {misses}");
+    }
+
+    #[test]
+    fn urc_remap_renews_recency() {
+        // Re-mapping a URC-resident region must renew its LRU position:
+        // the stale queue entry is skipped at overflow time and a fresher
+        // region survives eviction in its place.
+        let r = run_spmd(2, CostModel::free(), |node| {
+            let crl = CrlRt::with_urc_capacity(node, 2);
+            let ids: Vec<RegionId> = if crl.rank() == 0 {
+                let ids: Vec<u64> = (0..3).map(|_| crl.create_words(1).0).collect();
+                crl.bcast(0, &ids).iter().map(|&x| RegionId(x)).collect()
+            } else {
+                crl.bcast(0, &[]).iter().map(|&x| RegionId(x)).collect()
+            };
+            let present = if crl.rank() == 1 {
+                let (a, b, c) = (ids[0], ids[1], ids[2]);
+                crl.map(a);
+                crl.unmap(a); // urc: [a]
+                crl.map(b);
+                crl.unmap(b); // urc: [a, b]
+                crl.map(a); // revalidates a; its old queue slot goes stale
+                crl.unmap(a); // urc: [b, a]
+                crl.map(c);
+                crl.unmap(c); // overflow: b is the oldest live entry
+                ids.iter().map(|&x| crl.inner().lookup(x).is_some()).collect()
+            } else {
+                vec![true; 3]
+            };
+            crl.barrier();
+            crl.inner().shutdown();
+            present
+        });
+        assert_eq!(
+            r.results[1],
+            vec![true, false, true],
+            "b should be evicted; a's recency was renewed by the re-map"
+        );
     }
 
     #[test]

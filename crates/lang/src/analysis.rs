@@ -170,8 +170,7 @@ pub fn analyze(prog: &Program, _cfg: &SystemConfig) -> Facts {
         }
     }
 
-    let mut summaries: Vec<Summary> =
-        prog.funcs.iter().map(|f| Summary::new(f.nparams)).collect();
+    let mut summaries: Vec<Summary> = prog.funcs.iter().map(|f| Summary::new(f.nparams)).collect();
     summaries[prog.main].seen = true;
 
     // Interprocedural fixpoint: re-analyze while anything changes.
@@ -208,7 +207,7 @@ fn analyze_fn(
     prog: &Program,
     f: &IFunc,
     fid: FuncId,
-    summaries: &mut Vec<Summary>,
+    summaries: &mut [Summary],
     facts: &mut Facts,
 ) {
     let nblocks = f.blocks.len();
@@ -282,7 +281,7 @@ fn transfer(
     prog: &Program,
     inst: &Inst,
     st: &mut State,
-    summaries: &mut Vec<Summary>,
+    summaries: &mut [Summary],
     facts: &mut Facts,
 ) {
     let record = |facts: &mut Facts, st: &State, aid: AccessId, handle: VReg| {
@@ -296,18 +295,13 @@ fn transfer(
     };
     match inst {
         Inst::Mov { dst, a } => st.regs[*dst as usize] = st.regs[*a as usize].clone(),
-        Inst::LoadLocal { dst, slot } => {
-            st.regs[*dst as usize] = st.slots[*slot as usize].clone()
-        }
-        Inst::StoreLocal { slot, a } => {
-            st.slots[*slot as usize] = st.regs[*a as usize].clone()
-        }
+        Inst::LoadLocal { dst, slot } => st.regs[*dst as usize] = st.slots[*slot as usize].clone(),
+        Inst::StoreLocal { slot, a } => st.slots[*slot as usize] = st.regs[*a as usize].clone(),
         Inst::LoadArr { dst, slot, .. } => {
             st.regs[*dst as usize] = st.slots[*slot as usize].clone()
         }
         Inst::StoreArr { slot, a, .. } => {
-            st.slots[*slot as usize] =
-                st.slots[*slot as usize].join(&st.regs[*a as usize])
+            st.slots[*slot as usize] = st.slots[*slot as usize].join(&st.regs[*a as usize])
         }
         Inst::Map { aid, dst, handle, .. } => {
             st.regs[*dst as usize] = st.regs[*handle as usize].clone();
@@ -320,8 +314,7 @@ fn transfer(
         | Inst::Lock { aid, handle, .. }
         | Inst::Unlock { aid, handle, .. } => record(facts, st, *aid, *handle),
         Inst::GLoad { dst, ty, .. } => {
-            st.regs[*dst as usize] =
-                if *ty == ValTy::H { st.mem.clone() } else { Sites::empty() };
+            st.regs[*dst as usize] = if *ty == ValTy::H { st.mem.clone() } else { Sites::empty() };
         }
         Inst::GStore { val, .. } => {
             st.mem = st.mem.join(&st.regs[*val as usize]);
@@ -335,26 +328,21 @@ fn transfer(
                 // a strong update is safe even inside loops.
                 st.penv.insert(*site, BTreeSet::from([*spec]));
             }
-            Intr::ChangeProtocol { spec } => {
-                match st.regs[args[0] as usize].clone() {
-                    Sites::Set(ks) if ks.len() == 1 => {
-                        st.penv.insert(
-                            *ks.iter().next().unwrap(),
-                            BTreeSet::from([*spec]),
-                        );
-                    }
-                    Sites::Set(ks) => {
-                        for k in ks {
-                            st.penv.entry(k).or_default().insert(*spec);
-                        }
-                    }
-                    Sites::Top => {
-                        for k in 0..facts.nsites {
-                            st.penv.entry(k).or_default().insert(*spec);
-                        }
+            Intr::ChangeProtocol { spec } => match st.regs[args[0] as usize].clone() {
+                Sites::Set(ks) if ks.len() == 1 => {
+                    st.penv.insert(*ks.iter().next().unwrap(), BTreeSet::from([*spec]));
+                }
+                Sites::Set(ks) => {
+                    for k in ks {
+                        st.penv.entry(k).or_default().insert(*spec);
                     }
                 }
-            }
+                Sites::Top => {
+                    for k in 0..facts.nsites {
+                        st.penv.entry(k).or_default().insert(*spec);
+                    }
+                }
+            },
             Intr::Gmalloc { .. } => {
                 if let Some(d) = dst {
                     st.regs[*d as usize] = st.regs[args[0] as usize].clone();
@@ -405,9 +393,7 @@ fn transfer(
             }
         }
         // constants, arithmetic, conversions: never handles
-        Inst::ConstI(dst, _) | Inst::ConstF(dst, _) => {
-            st.regs[*dst as usize] = Sites::empty()
-        }
+        Inst::ConstI(dst, _) | Inst::ConstF(dst, _) => st.regs[*dst as usize] = Sites::empty(),
         Inst::BinOp { dst, .. }
         | Inst::Neg { dst, .. }
         | Inst::Not { dst, .. }

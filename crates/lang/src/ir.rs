@@ -278,12 +278,6 @@ mod tests {
         assert!(Inst::Intrinsic { dst: None, which: Intr::Barrier, args: vec![] }.is_sync());
         assert!(Inst::Call { dst: None, func: 0, args: vec![] }.is_sync());
         assert!(!Inst::Intrinsic { dst: Some(0), which: Intr::Rank, args: vec![] }.is_sync());
-        assert!(!Inst::Map {
-            aid: 0,
-            mode: DispatchMode::Dispatch,
-            dst: 0,
-            handle: 1
-        }
-        .is_sync());
+        assert!(!Inst::Map { aid: 0, mode: DispatchMode::Dispatch, dst: 0, handle: 1 }.is_sync());
     }
 }

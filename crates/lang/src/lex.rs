@@ -97,10 +97,8 @@ pub fn lex(src: &str) -> Result<Vec<Sp>, String> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                let is_float = i < b.len()
-                    && b[i] == b'.'
-                    && i + 1 < b.len()
-                    && b[i + 1].is_ascii_digit();
+                let is_float =
+                    i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit();
                 if is_float {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
@@ -197,7 +195,9 @@ pub fn lex(src: &str) -> Result<Vec<Sp>, String> {
                         '<' => Tok::Lt,
                         '>' => Tok::Gt,
                         '!' => Tok::Not,
-                        other => return Err(format!("line {line}: unexpected character '{other}'")),
+                        other => {
+                            return Err(format!("line {line}: unexpected character '{other}'"))
+                        }
                     };
                     (t, 1)
                 };
@@ -222,26 +222,16 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("shared int *p;"),
-            vec![
-                Tok::KwShared,
-                Tok::KwInt,
-                Tok::Star,
-                Tok::Ident("p".into()),
-                Tok::Semi,
-                Tok::Eof
-            ]
+            vec![Tok::KwShared, Tok::KwInt, Tok::Star, Tok::Ident("p".into()), Tok::Semi, Tok::Eof]
         );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 3.5 1e3"), vec![
-            Tok::Int(42),
-            Tok::Float(3.5),
-            Tok::Int(1),
-            Tok::Ident("e3".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("42 3.5 1e3"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(1), Tok::Ident("e3".into()), Tok::Eof]
+        );
         assert_eq!(toks("2.5e-2"), vec![Tok::Float(0.025), Tok::Eof]);
     }
 

@@ -28,6 +28,9 @@
 //! [`config`], which parses the same information the paper's Tcl script
 //! emitted into the "system configuration file".
 
+// Dataflow transfer loops index parallel arrays; explicit indexing is the idiom.
+#![allow(clippy::needless_range_loop)]
+
 pub mod analysis;
 pub mod ast;
 pub mod config;
@@ -58,7 +61,8 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels in Table 4 order.
-    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::Licm, OptLevel::Merge, OptLevel::Direct];
+    pub const ALL: [OptLevel; 4] =
+        [OptLevel::O0, OptLevel::Licm, OptLevel::Merge, OptLevel::Direct];
 
     /// Row label used by the Table 4 harness.
     pub fn label(self) -> &'static str {

@@ -160,9 +160,9 @@ mod tests {
         let p = compile(src, &cfg, OptLevel::Direct).unwrap();
         // unlock + the null read/write hooks disappear; lock stays.
         let has_unlock = p.funcs.iter().any(|f| {
-            f.blocks.iter().any(|b| {
-                b.insts.iter().any(|i| matches!(i, crate::ir::Inst::Unlock { .. }))
-            })
+            f.blocks
+                .iter()
+                .any(|b| b.insts.iter().any(|i| matches!(i, crate::ir::Inst::Unlock { .. })))
         });
         let has_lock = p.funcs.iter().any(|f| {
             f.blocks

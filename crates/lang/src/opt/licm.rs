@@ -141,8 +141,7 @@ fn hoist_one(f: &mut IFunc, facts: &Facts, cfg: &SystemConfig) -> bool {
             continue;
         }
         // No synchronization inside the loop.
-        let has_sync =
-            body.iter().any(|&b| f.blocks[b].insts.iter().any(|i| i.is_sync()));
+        let has_sync = body.iter().any(|&b| f.blocks[b].insts.iter().any(|i| i.is_sync()));
         if has_sync {
             continue;
         }
@@ -159,9 +158,8 @@ fn hoist_one(f: &mut IFunc, facts: &Facts, cfg: &SystemConfig) -> bool {
             continue;
         }
         let exit = *exits.iter().next().unwrap();
-        let exit_preds_ok = (0..f.blocks.len()).all(|p| {
-            !successors(&f.blocks[p].term).contains(&exit) || body.contains(&p)
-        });
+        let exit_preds_ok = (0..f.blocks.len())
+            .all(|p| !successors(&f.blocks[p].term).contains(&exit) || body.contains(&p));
         if !exit_preds_ok {
             continue;
         }
@@ -183,7 +181,8 @@ fn hoist_one(f: &mut IFunc, facts: &Facts, cfg: &SystemConfig) -> bool {
         // handle, all protocols optimizable.
         let sites = super::index_accesses(f);
         let mut moved_any = false;
-        let mut plan: Vec<(AccessId, super::AccessSites, Option<(BlockId, usize)>)> = Vec::new();
+        type Hoist = (AccessId, super::AccessSites, Option<(BlockId, usize)>);
+        let mut plan: Vec<Hoist> = Vec::new();
         for (aid, s) in &sites {
             let (Some(m), Some(st), Some(en)) = (s.map, s.start, s.end) else { continue };
             if !(body.contains(&m.0) && body.contains(&st.0) && body.contains(&en.0)) {
@@ -249,7 +248,7 @@ fn hoist_one(f: &mut IFunc, facts: &Facts, cfg: &SystemConfig) -> bool {
             moved_any = true;
         }
         // Delete in descending index order per block.
-        delete.sort_by(|a, b| (a.0, std::cmp::Reverse(a.1)).cmp(&(b.0, std::cmp::Reverse(b.1))));
+        delete.sort_by_key(|&(b, i)| (b, std::cmp::Reverse(i)));
         for (b, i) in delete {
             f.blocks[b].insts.remove(i);
         }
@@ -406,9 +405,8 @@ mod tests {
         let cfg = SystemConfig::builtin();
         for level in [OptLevel::O0, OptLevel::Licm] {
             let p = compile(src, &cfg, level).unwrap();
-            let r = run_ace(1, CostModel::free(), |rt| {
-                crate::vm::run_program(rt, &p).unwrap().as_f()
-            });
+            let r =
+                run_ace(1, CostModel::free(), |rt| crate::vm::run_program(rt, &p).unwrap().as_f());
             assert_eq!(r.results[0], 56.0, "wrong result at {level:?}");
         }
     }

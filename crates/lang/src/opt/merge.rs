@@ -176,8 +176,11 @@ fn rename_operands(inst: &mut Inst, rename: &HashMap<VReg, VReg>) {
             f(a);
             f(b);
         }
-        Inst::Neg { a, .. } | Inst::Not { a, .. } | Inst::IntToF { a, .. }
-        | Inst::FToInt { a, .. } | Inst::Mov { a, .. } => f(a),
+        Inst::Neg { a, .. }
+        | Inst::Not { a, .. }
+        | Inst::IntToF { a, .. }
+        | Inst::FToInt { a, .. }
+        | Inst::Mov { a, .. } => f(a),
         Inst::LoadLocal { .. } => {}
         Inst::StoreLocal { a, .. } => f(a),
         Inst::LoadArr { idx, .. } => f(idx),

@@ -33,9 +33,7 @@ pub fn index_accesses(f: &IFunc) -> std::collections::HashMap<AccessId, AccessSi
         for (ii, inst) in b.insts.iter().enumerate() {
             match inst {
                 Inst::Map { aid, .. } => out.entry(*aid).or_default().map = Some((bi, ii)),
-                Inst::StartRead { aid, .. } => {
-                    out.entry(*aid).or_default().start = Some((bi, ii))
-                }
+                Inst::StartRead { aid, .. } => out.entry(*aid).or_default().start = Some((bi, ii)),
                 Inst::StartWrite { aid, .. } => {
                     let e = out.entry(*aid).or_default();
                     e.start = Some((bi, ii));

@@ -387,7 +387,11 @@ impl<'a> P<'a> {
         matches!(
             self.toks.get(self.pos + 1).map(|s| &s.tok),
             Some(
-                Tok::KwInt | Tok::KwDouble | Tok::KwVoid | Tok::KwSpace | Tok::KwShared
+                Tok::KwInt
+                    | Tok::KwDouble
+                    | Tok::KwVoid
+                    | Tok::KwSpace
+                    | Tok::KwShared
                     | Tok::KwStruct
             )
         )

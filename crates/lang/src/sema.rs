@@ -20,9 +20,11 @@ pub struct StructTable {
 impl StructTable {
     /// Word offset and type of `field` in `name`.
     pub fn field(&self, name: &str, field: &str) -> Option<(usize, Ty)> {
-        self.defs.get(name)?.iter().enumerate().find_map(|(i, (ty, f))| {
-            (f == field).then(|| (i, ty.clone()))
-        })
+        self.defs
+            .get(name)?
+            .iter()
+            .enumerate()
+            .find_map(|(i, (ty, f))| (f == field).then(|| (i, ty.clone())))
     }
 
     /// Size of a struct in words (one word per field).
@@ -174,7 +176,9 @@ impl Checker<'_> {
                 let binding = match array_len {
                     Some(len) => {
                         if init.is_some() {
-                            return Err(format!("line {line}: array declarations take no initializer"));
+                            return Err(format!(
+                                "line {line}: array declarations take no initializer"
+                            ));
                         }
                         Binding::Array(ty.clone(), *len)
                     }
@@ -277,9 +281,7 @@ impl Checker<'_> {
                 }
                 None => Err(format!("line {line}: unknown variable {n}")),
             },
-            LValue::Index(b, i) => {
-                self.index_ty(b, i, line)
-            }
+            LValue::Index(b, i) => self.index_ty(b, i, line),
             LValue::Member(b, f) => self.member_ty(b, f, line),
             LValue::Deref(b) => self.deref_ty(b, line),
         }
@@ -296,9 +298,9 @@ impl Checker<'_> {
         match self.expr(base)? {
             Ty::SharedPtr(elem) => match *elem {
                 Ty::Int | Ty::Double | Ty::SharedPtr(_) => Ok(*elem),
-                Ty::Struct(n) => Err(format!(
-                    "line {line}: index a `shared struct {n}*` via ->field, not []"
-                )),
+                Ty::Struct(n) => {
+                    Err(format!("line {line}: index a `shared struct {n}*` via ->field, not []"))
+                }
                 other => Err(format!("line {line}: cannot index into {other:?}")),
             },
             other => Err(format!("line {line}: cannot index into {other:?}")),
@@ -313,9 +315,13 @@ impl Checker<'_> {
                     .field(&name, field)
                     .map(|(_, t)| t)
                     .ok_or_else(|| format!("line {line}: struct {name} has no field {field}")),
-                other => Err(format!("line {line}: -> requires a shared struct pointer, found {other:?}")),
+                other => Err(format!(
+                    "line {line}: -> requires a shared struct pointer, found {other:?}"
+                )),
             },
-            other => Err(format!("line {line}: -> requires a shared struct pointer, found {other:?}")),
+            other => {
+                Err(format!("line {line}: -> requires a shared struct pointer, found {other:?}"))
+            }
         }
     }
 
@@ -470,9 +476,7 @@ impl Checker<'_> {
             let got = self.expr(arg)?;
             let ok = match (want, &got) {
                 (Ty::SharedPtr(inner), Ty::SharedPtr(_)) if **inner == Ty::Void => true,
-                _ => {
-                    want == &got || (*want == Ty::Double && got == Ty::Int)
-                }
+                _ => want == &got || (*want == Ty::Double && got == Ty::Int),
             };
             if !ok {
                 return Err(format!(

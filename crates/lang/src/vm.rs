@@ -324,23 +324,21 @@ impl Vm<'_, '_> {
             Intr::ReduceAddF => {
                 Value::F(rt.allreduce_f64(regs[args[0] as usize].as_f(), |a, b| a + b))
             }
-            Intr::ReduceMaxF => {
-                Value::F(rt.allreduce_f64(regs[args[0] as usize].as_f(), f64::max))
-            }
+            Intr::ReduceMaxF => Value::F(rt.allreduce_f64(regs[args[0] as usize].as_f(), f64::max)),
             Intr::ReduceAddI => Value::I(
                 rt.allreduce_u64(regs[args[0] as usize].as_i() as u64, |a, b| a.wrapping_add(b))
                     as i64,
             ),
-            Intr::ReduceMaxI => Value::I(
-                rt.allreduce_u64(regs[args[0] as usize].as_i() as u64, |a, b| {
+            Intr::ReduceMaxI => {
+                Value::I(rt.allreduce_u64(regs[args[0] as usize].as_i() as u64, |a, b| {
                     (a as i64).max(b as i64) as u64
-                }) as i64,
-            ),
-            Intr::ReduceMinI => Value::I(
-                rt.allreduce_u64(regs[args[0] as usize].as_i() as u64, |a, b| {
+                }) as i64)
+            }
+            Intr::ReduceMinI => {
+                Value::I(rt.allreduce_u64(regs[args[0] as usize].as_i() as u64, |a, b| {
                     (a as i64).min(b as i64) as u64
-                }) as i64,
-            ),
+                }) as i64)
+            }
             Intr::Sqrt => {
                 rt.charge_flops(2);
                 Value::F(regs[args[0] as usize].as_f().sqrt())

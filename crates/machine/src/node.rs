@@ -1,6 +1,8 @@
 //! A simulated processor: rank, message endpoints, virtual clock, counters.
 
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -15,11 +17,17 @@ use crate::stats::NodeStats;
 /// watchdog converts them into a panic with the caller-provided diagnostic.
 pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 
+/// How many messages [`Node::try_recv`] pulls off the channel per drain
+/// burst. Draining in bursts amortizes the channel's synchronization over
+/// many messages; the burst is bounded so a flood of incoming traffic
+/// cannot starve the caller's predicate checks.
+pub const DEFAULT_DRAIN_BATCH: usize = 64;
+
 /// One simulated processor.
 ///
 /// A `Node` is owned by exactly one OS thread and is deliberately `!Sync`:
 /// everything inside uses `Cell`/`RefCell`. The only cross-thread objects
-/// are the channel endpoints.
+/// are the channel endpoints and the shared peer-failure flag.
 pub struct Node<M> {
     rank: usize,
     nprocs: usize,
@@ -27,8 +35,19 @@ pub struct Node<M> {
     txs: Arc<Vec<Sender<Envelope<M>>>>,
     cost: Arc<CostModel>,
     clock: Cell<u64>,
-    stats: RefCell<NodeStats>,
+    msgs_sent: Cell<u64>,
+    bytes_sent: Cell<u64>,
+    msgs_recv: Cell<u64>,
     watchdog: Cell<Duration>,
+    /// Local inbox filled by draining the channel in bursts. Messages are
+    /// *not* absorbed on drain — [`Node::absorb`] runs when a message is
+    /// popped for handling, so per-message virtual-clock semantics are
+    /// identical to unbatched reception (same order, same arrival math).
+    inbox: RefCell<VecDeque<Envelope<M>>>,
+    drain_batch: Cell<usize>,
+    /// Rank of the first peer whose thread died by panic, or -1. Shared by
+    /// every node of the machine; see [`crate::run_spmd`].
+    failed: Arc<AtomicIsize>,
 }
 
 impl<M: MsgSize + Send> Node<M> {
@@ -38,6 +57,7 @@ impl<M: MsgSize + Send> Node<M> {
         rx: Receiver<Envelope<M>>,
         txs: Arc<Vec<Sender<Envelope<M>>>>,
         cost: Arc<CostModel>,
+        failed: Arc<AtomicIsize>,
     ) -> Self {
         Node {
             rank,
@@ -46,8 +66,13 @@ impl<M: MsgSize + Send> Node<M> {
             txs,
             cost,
             clock: Cell::new(0),
-            stats: RefCell::new(NodeStats::default()),
+            msgs_sent: Cell::new(0),
+            bytes_sent: Cell::new(0),
+            msgs_recv: Cell::new(0),
             watchdog: Cell::new(DEFAULT_WATCHDOG),
+            inbox: RefCell::new(VecDeque::new()),
+            drain_batch: Cell::new(DEFAULT_DRAIN_BATCH),
+            failed,
         }
     }
 
@@ -81,6 +106,13 @@ impl<M: MsgSize + Send> Node<M> {
         self.watchdog.set(d);
     }
 
+    /// Override the drain burst size (1 = unbatched reception; the batched
+    /// path must be observationally identical, which tests verify).
+    pub fn set_drain_batch(&self, n: usize) {
+        assert!(n >= 1, "drain batch must be at least 1");
+        self.drain_batch.set(n);
+    }
+
     /// Inject a message to `dst`. Charges send overhead and records stats.
     /// Sending to self is allowed (the message is delivered via the normal
     /// polling path, like a loopback active message).
@@ -88,11 +120,8 @@ impl<M: MsgSize + Send> Node<M> {
         debug_assert!(dst < self.nprocs, "send to nonexistent node {dst}");
         self.charge(self.cost.send_overhead);
         let bytes = msg.size_bytes() + HEADER_BYTES;
-        {
-            let mut s = self.stats.borrow_mut();
-            s.msgs_sent += 1;
-            s.bytes_sent += bytes as u64;
-        }
+        self.msgs_sent.set(self.msgs_sent.get() + 1);
+        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
         let env = Envelope { src: self.rank, send_time: self.clock.get(), bytes, msg };
         // A send can only fail if the destination thread already exited,
         // which means the SPMD program violated its quiescence contract;
@@ -100,27 +129,54 @@ impl<M: MsgSize + Send> Node<M> {
         let _ = self.txs[dst].send(env);
     }
 
+    /// Pull a burst of messages off the channel into the local inbox,
+    /// without absorbing them. Per-pair FIFO is preserved: the channel
+    /// delivers in send order per source and the inbox is a queue.
+    fn drain_burst(&self, inbox: &mut VecDeque<Envelope<M>>) {
+        let limit = self.drain_batch.get();
+        while inbox.len() < limit {
+            match self.rx.try_recv() {
+                Ok(env) => inbox.push_back(env),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => self.peer_exited("channel disconnected"),
+            }
+        }
+    }
+
     /// Non-blocking receive. On delivery the local clock advances to cover
     /// the message's flight time and the receive overhead is charged.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
-        match self.rx.try_recv() {
-            Ok(env) => {
-                self.absorb(&env);
-                Some(env)
-            }
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        let mut inbox = self.inbox.borrow_mut();
+        if inbox.is_empty() {
+            self.drain_burst(&mut inbox);
         }
+        let env = inbox.pop_front()?;
+        drop(inbox);
+        self.absorb(&env);
+        Some(env)
     }
 
     /// Blocking receive with a short timeout, for poll loops that should
     /// yield the CPU while idle. Returns `None` on timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is disconnected: every peer's thread has
+    /// exited, so no message can ever arrive and waiting is futile.
     pub fn recv_timeout(&self, d: Duration) -> Option<Envelope<M>> {
+        if let Some(env) = self.inbox.borrow_mut().pop_front() {
+            self.absorb(&env);
+            return Some(env);
+        }
         match self.rx.recv_timeout(d) {
             Ok(env) => {
                 self.absorb(&env);
                 Some(env)
             }
-            Err(_) => None,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                self.peer_exited("channel disconnected")
+            }
         }
     }
 
@@ -128,14 +184,38 @@ impl<M: MsgSize + Send> Node<M> {
         let arrival = env.send_time + self.cost.wire_time(env.bytes);
         let now = self.clock.get().max(arrival) + self.cost.recv_overhead;
         self.clock.set(now);
-        self.stats.borrow_mut().msgs_recv += 1;
+        self.msgs_recv.set(self.msgs_recv.get() + 1);
+    }
+
+    /// Diagnose a dead peer and panic immediately instead of letting the
+    /// caller stall into the watchdog.
+    fn peer_exited(&self, what: &str) -> ! {
+        let culprit = self.failed.load(Ordering::SeqCst);
+        if culprit >= 0 {
+            panic!("node {}: peer exited (node {culprit} died) while: {what}", self.rank);
+        }
+        panic!("node {}: peer exited while: {what}", self.rank);
+    }
+
+    /// Panic if some peer's thread has died by panic: a message this node
+    /// is waiting on may never arrive, so failing fast with the culprit's
+    /// rank beats a silent multi-second watchdog stall.
+    fn check_peers(&self, what: &str) {
+        let culprit = self.failed.load(Ordering::SeqCst);
+        if culprit >= 0 && culprit as usize != self.rank {
+            panic!(
+                "node {}: peer exited (node {culprit} died) while waiting for: {what}",
+                self.rank
+            );
+        }
     }
 
     /// Spin-with-backoff until `pred` returns true, invoking `handle` on
     /// messages that arrive in the meantime. This is the substrate's
     /// equivalent of an Active Messages poll loop: a blocked processor keeps
     /// servicing incoming protocol requests. Panics with `what` if the
-    /// watchdog expires (a wedged protocol).
+    /// watchdog expires (a wedged protocol) or a peer's thread dies (a
+    /// crashed protocol on the other side).
     ///
     /// `pred` is re-checked after **every** message: as soon as the wait is
     /// satisfied the loop returns, leaving any further queued messages for
@@ -176,6 +256,7 @@ impl<M: MsgSize + Send> Node<M> {
                             }
                         }
                         None => {
+                            self.check_peers(what);
                             if start.elapsed() > self.watchdog.get() {
                                 panic!(
                                     "node {} wedged waiting for: {what} (clock {} ns)",
@@ -192,9 +273,12 @@ impl<M: MsgSize + Send> Node<M> {
 
     /// Snapshot of this node's statistics (final clock filled in).
     pub fn stats(&self) -> NodeStats {
-        let mut s = self.stats.borrow().clone();
-        s.final_clock = self.clock.get();
-        s
+        NodeStats {
+            msgs_sent: self.msgs_sent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            msgs_recv: self.msgs_recv.get(),
+            final_clock: self.clock.get(),
+        }
     }
 }
 
@@ -278,5 +362,57 @@ mod tests {
             }
         });
         assert_eq!(r.results[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_between_pair_unbatched() {
+        // Same as above with the burst disabled: the drain path must be
+        // observationally identical at batch size 1.
+        let r = run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
+            node.set_drain_batch(1);
+            if node.rank() == 0 {
+                for i in 0..100 {
+                    node.send(1, i);
+                }
+                Vec::new()
+            } else {
+                let seen = RefCell::new(Vec::new());
+                node.poll_until(
+                    "100 msgs",
+                    |_, env| seen.borrow_mut().push(env.msg),
+                    || seen.borrow().len() == 100,
+                );
+                seen.into_inner()
+            }
+        });
+        assert_eq!(r.results[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inbox_messages_absorb_at_pop_not_at_drain() {
+        // A burst of queued messages must not advance the clock until each
+        // one is actually popped: after the first poll_until returns (its
+        // predicate satisfied by message #1), the receiver's clock reflects
+        // one receive even though the whole burst is already local.
+        let cost = CostModel::cm5();
+        let recv_overhead = cost.recv_overhead;
+        let r = run_spmd::<u64, _, _>(2, cost, |node| {
+            if node.rank() == 0 {
+                for i in 0..10 {
+                    node.send(1, i + 1);
+                }
+                0
+            } else {
+                let got = Cell::new(0u64);
+                node.poll_until("first msg", |_, env| got.set(env.msg), || got.get() == 1);
+                let after_one = node.stats().msgs_recv;
+                assert_eq!(after_one, 1, "only the popped message is absorbed");
+                let seen = Cell::new(1u64);
+                node.poll_until("rest", |_, _| seen.set(seen.get() + 1), || seen.get() == 10);
+                node.stats().msgs_recv
+            }
+        });
+        assert_eq!(r.results[1], 10);
+        assert!(recv_overhead > 0);
     }
 }

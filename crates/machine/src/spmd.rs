@@ -1,5 +1,6 @@
 //! SPMD launcher: run one closure on every simulated processor.
 
+use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,6 +25,28 @@ pub struct SpmdResult<R> {
     pub wall: Duration,
 }
 
+/// Records the first rank whose thread dies by panic into the machine-wide
+/// failure flag, so peers blocked in a poll loop can fail fast with a
+/// "peer exited" diagnostic instead of stalling into the watchdog.
+struct FailGuard {
+    rank: usize,
+    failed: Arc<AtomicIsize>,
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // First writer wins: cascade panics must not mask the culprit.
+            let _ = self.failed.compare_exchange(
+                -1,
+                self.rank as isize,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+}
+
 /// Launch `nprocs` simulated processors, each running `f` with its own
 /// [`Node`], in the single-program-multiple-data style of the paper
 /// ("a single user thread per processor (SPMD)", §3.1).
@@ -35,7 +58,9 @@ pub struct SpmdResult<R> {
 /// # Panics
 ///
 /// Panics if `nprocs` is zero or exceeds [`MAX_NODES`], or if any node's
-/// closure panics (the panic is propagated with the node's rank).
+/// closure panics. When several nodes die (one crashes and its blocked
+/// peers then fail with "peer exited"), the panic propagated is the
+/// *first* thread that died — the root cause, not a symptom.
 pub fn run_spmd<M, R, F>(nprocs: usize, cost: CostModel, f: F) -> SpmdResult<R>
 where
     M: MsgSize + Send,
@@ -54,6 +79,7 @@ where
         rxs.push(rx);
     }
     let txs = Arc::new(txs);
+    let failed = Arc::new(AtomicIsize::new(-1));
 
     let start = Instant::now();
     let mut outcomes: Vec<Option<(R, NodeStats)>> = Vec::with_capacity(nprocs);
@@ -66,13 +92,16 @@ where
         for (rank, rx) in rxs.into_iter().enumerate() {
             let txs = Arc::clone(&txs);
             let cost = Arc::clone(&cost);
+            let failed = Arc::clone(&failed);
             let f = &f;
             handles.push(scope.spawn(move || {
-                let node = Node::new(rank, nprocs, rx, txs, cost);
+                let _guard = FailGuard { rank, failed: Arc::clone(&failed) };
+                let node = Node::new(rank, nprocs, rx, txs, cost, failed);
                 let r = f(&node);
                 (r, node.stats())
             }));
         }
+        let mut failures: Vec<(usize, String)> = Vec::new();
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
                 Ok(out) => outcomes[rank] = Some(out),
@@ -82,9 +111,15 @@ where
                         .map(|s| s.as_str())
                         .or_else(|| e.downcast_ref::<&str>().copied())
                         .unwrap_or("<non-string panic>");
-                    panic!("node {rank} panicked: {msg}");
+                    failures.push((rank, msg.to_string()));
                 }
             }
+        }
+        if !failures.is_empty() {
+            let culprit = failed.load(Ordering::SeqCst);
+            let (rank, msg) =
+                failures.iter().find(|(r, _)| *r as isize == culprit).unwrap_or(&failures[0]);
+            panic!("node {rank} panicked: {msg}");
         }
     });
 
@@ -133,6 +168,30 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "node 1 panicked: boom")]
+    fn peer_death_reports_root_cause() {
+        // Node 1 crashes while node 0 is blocked waiting on it. Node 0 must
+        // detect the death promptly (well under the watchdog) and the
+        // propagated panic must name the crashing node, not the waiter.
+        let start = Instant::now();
+        let r = std::panic::catch_unwind(|| {
+            run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
+                if node.rank() == 1 {
+                    panic!("boom");
+                }
+                node.poll_until("a message that never comes", |_, _| {}, || false);
+            })
+        });
+        assert!(r.is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "peer death took {:?} to detect; watchdog should not be involved",
+            start.elapsed()
+        );
+        std::panic::resume_unwind(r.unwrap_err());
     }
 
     #[test]

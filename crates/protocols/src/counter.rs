@@ -14,7 +14,7 @@
 //! what home adds per acquisition; applications that advance the counter
 //! by one per job use the default of 1.
 
-use ace_core::{Actions, AceRt, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
 
 /// Wire opcodes.
 pub mod op {
@@ -93,16 +93,15 @@ impl Protocol for FetchAddCounter {
         let from = msg.from as usize;
         match msg.op {
             op::FADD => {
-                let old = {
-                    let mut d = e.data.borrow_mut();
+                let old = e.with_data_mut(|d| {
                     let old = d[0];
                     d[0] = old + msg.arg;
                     old
-                };
+                });
                 rt.send_proto(from, e.id, op::VALUE, old, None);
             }
             op::VALUE => {
-                e.data.borrow_mut()[0] = msg.arg;
+                e.with_data_mut(|d| d[0] = msg.arg);
                 e.aux.set(e.aux.get() & !VALUE_WAIT);
             }
             other => panic!("FetchAdd: unknown opcode {other}"),

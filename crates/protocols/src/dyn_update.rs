@@ -17,7 +17,7 @@
 //! so every write issued before a barrier is applied machine-wide before
 //! any node passes that barrier.
 
-use ace_core::{Actions, AceRt, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -69,12 +69,15 @@ impl DynamicUpdate {
     fn start_round(&self, rt: &AceRt, e: &RegionEntry, writer: usize) -> bool {
         let seq = (e.aux.get() >> 16) as u16;
         e.aux.set((e.aux.get() & 0xFFFF) | (((seq as u64).wrapping_add(1) & 0xFFFF) << 16));
+        // One snapshot shared across the whole fan-out: O(sharers)
+        // refcount bumps instead of O(sharers) deep copies.
+        let snapshot = e.share_data();
         let mut n = 0u64;
         for s in e.sharer_ranks() {
             if s == writer {
                 continue;
             }
-            rt.send_proto(s, e.id, op::UPD, seq as u64, Some(e.clone_data()));
+            rt.send_proto(s, e.id, op::UPD, seq as u64, Some(snapshot.clone()));
             n += 1;
         }
         if n == 0 {
@@ -154,7 +157,7 @@ impl Protocol for DynamicUpdate {
                 rt.send_proto(from, e.id, op::DATA, 0, Some(e.clone_data()));
             }
             op::UPD_HOME => {
-                e.install_data(msg.data.as_deref().expect("update carries data"));
+                e.install_shared(msg.data.expect("update carries data"));
                 if self.start_round(rt, e, from) {
                     rt.send_proto(from, e.id, op::ROUND_DONE, 0, None);
                 }
@@ -192,11 +195,11 @@ impl Protocol for DynamicUpdate {
             }
             // ---------------- sharer side ----------------
             op::DATA => {
-                e.install_data(msg.data.as_deref().expect("join reply carries data"));
+                e.install_shared(msg.data.expect("join reply carries data"));
                 e.st.set(R_SHARED);
             }
             op::UPD => {
-                e.install_data(msg.data.as_deref().expect("update carries data"));
+                e.install_shared(msg.data.expect("update carries data"));
                 if e.st.get() != R_INVALID {
                     e.st.set(R_SHARED);
                 }

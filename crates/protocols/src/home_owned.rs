@@ -10,7 +10,7 @@
 //! ordering (locks/barriers) guarantees a block is complete before its
 //! consumers fetch it.
 
-use ace_core::{Actions, AceRt, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -89,7 +89,7 @@ impl Protocol for HomeOwned {
                 rt.send_proto(from, e.id, op::DATA, 0, Some(e.clone_data()));
             }
             op::DATA => {
-                e.install_data(msg.data.as_deref().expect("fetch reply carries data"));
+                e.install_shared(msg.data.expect("fetch reply carries data"));
                 e.st.set(R_SHARED);
             }
             other => panic!("HomeOwned: unknown opcode {other}"),
@@ -145,7 +145,9 @@ mod tests {
             let (s, rid) = setup(rt, 32);
             if rt.rank() == 0 {
                 rt.start_write(rid);
-                rt.with_mut::<u64, _>(rid, |d| d.iter_mut().enumerate().for_each(|(i, x)| *x = i as u64));
+                rt.with_mut::<u64, _>(rid, |d| {
+                    d.iter_mut().enumerate().for_each(|(i, x)| *x = i as u64)
+                });
                 rt.end_write(rid);
             }
             rt.barrier(s);

@@ -12,7 +12,7 @@
 //! The machinery reuses the SC protocol's round discipline: one round in
 //! flight per region, later requests parked in the blocked queue.
 
-use ace_core::{Actions, AceRt, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
 
 use crate::auxbits::{BUSY, WANTED};
 use crate::states::*;
@@ -143,7 +143,7 @@ impl Protocol for Migratory {
                 }
             }
             op::WB | op::FLUSH_X => {
-                e.install_data(msg.data.as_deref().expect("writeback carries data"));
+                e.install_shared(msg.data.expect("writeback carries data"));
                 e.owner.set(-1);
                 e.aux.set(e.aux.get() & !BUSY);
                 if msg.op == op::FLUSH_X {
@@ -153,7 +153,7 @@ impl Protocol for Migratory {
             }
             // remote side
             op::MDATA => {
-                e.install_data(msg.data.as_deref().expect("grant carries data"));
+                e.install_shared(msg.data.expect("grant carries data"));
                 e.st.set(R_EXCL);
             }
             op::RECALL => match e.st.get() {

@@ -6,7 +6,7 @@
 //! handlers are null, so the compiler's direct-dispatch pass deletes every
 //! protocol call on accesses that provably use this protocol.
 
-use ace_core::{Actions, AceRt, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
 
 /// A protocol where every action is a no-op and data is purely local.
 #[derive(Default)]

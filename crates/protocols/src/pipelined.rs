@@ -20,7 +20,7 @@
 //! master. Region data is interpreted as `f64`s, matching its use for
 //! force accumulation.
 
-use ace_core::{Actions, AceRt, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -90,7 +90,7 @@ impl Protocol for PipelinedWrite {
         if e.is_home_of(rt.rank()) {
             return; // wrote the master directly
         }
-        let delta: Box<[u64]> = {
+        let delta: std::sync::Arc<[u64]> = {
             let data = e.data.borrow();
             let twin = e.twin.borrow();
             let twin = twin.as_deref().expect("write section had a twin");
@@ -130,13 +130,12 @@ impl Protocol for PipelinedWrite {
                 rt.send_proto(from, e.id, op::DATA, 0, Some(e.clone_data()));
             }
             op::DELTA => {
-                {
-                    let mut data = e.data.borrow_mut();
-                    let delta = msg.data.as_deref().expect("delta carries data");
+                let delta = msg.data.as_deref().expect("delta carries data");
+                e.with_data_mut(|data| {
                     for (d, &x) in data.iter_mut().zip(delta.iter()) {
                         *d = (f64::from_bits(*d) + f64::from_bits(x)).to_bits();
                     }
-                }
+                });
                 rt.send_proto(from, e.id, op::DELTA_ACK, 0, None);
             }
             // writer side
@@ -147,7 +146,7 @@ impl Protocol for PipelinedWrite {
             }
             // reader side
             op::DATA => {
-                e.install_data(msg.data.as_deref().expect("fetch reply carries data"));
+                e.install_shared(msg.data.expect("fetch reply carries data"));
                 e.st.set(R_SHARED);
             }
             other => panic!("Pipelined: unknown opcode {other}"),

@@ -243,9 +243,7 @@ impl Protocol for SeqInvalidate {
                 }
             }
             op::WREQ => {
-                if e.is_home_of(rt.rank()) && e.busy() {
-                    e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
-                } else if Self::has_bit(e, BUSY) {
+                if (e.is_home_of(rt.rank()) && e.busy()) || Self::has_bit(e, BUSY) {
                     e.blocked.borrow_mut().push_back((msg.from, msg.op, msg.arg));
                 } else if e.owner.get() != -1 {
                     Self::set_bit(e, BUSY);
@@ -273,7 +271,7 @@ impl Protocol for SeqInvalidate {
                 }
             }
             op::WB_DATA | op::FLUSH_X => {
-                e.install_data(msg.data.as_deref().expect("writeback carries data"));
+                e.install_shared(msg.data.expect("writeback carries data"));
                 e.owner.set(-1);
                 Self::clear_bit(e, BUSY);
                 if msg.op == op::FLUSH_X {
@@ -287,17 +285,15 @@ impl Protocol for SeqInvalidate {
             }
             // ---------------- remote side ----------------
             op::DATA_S => {
-                e.install_data(msg.data.as_deref().expect("grant carries data"));
+                e.install_shared(msg.data.expect("grant carries data"));
                 e.st.set(R_SHARED);
             }
             op::DATA_X => {
-                e.install_data(msg.data.as_deref().expect("grant carries data"));
+                e.install_shared(msg.data.expect("grant carries data"));
                 e.st.set(R_EXCL);
             }
             op::INV => match e.st.get() {
-                R_SHARED if e.busy() || Self::has_bit(e, WANTED) => {
-                    Self::set_bit(e, INV_PENDING)
-                }
+                R_SHARED if e.busy() || Self::has_bit(e, WANTED) => Self::set_bit(e, INV_PENDING),
                 R_SHARED => self.do_invalidate(rt, e),
                 // We already requested an upgrade or dropped the copy; the
                 // data here is dead either way — just acknowledge.
@@ -307,9 +303,7 @@ impl Protocol for SeqInvalidate {
                 other => panic!("INV in unexpected state {other}"),
             },
             op::RECALL => match e.st.get() {
-                R_EXCL if e.busy() || Self::has_bit(e, WANTED) => {
-                    Self::set_bit(e, RECALL_PENDING)
-                }
+                R_EXCL if e.busy() || Self::has_bit(e, WANTED) => Self::set_bit(e, RECALL_PENDING),
                 R_EXCL => self.do_recall(rt, e),
                 other => panic!("RECALL in unexpected state {other}"),
             },
@@ -530,7 +524,7 @@ mod tests {
                     rt.start_read(rid);
                     let v = rt.with::<u64, _>(rid, |d| d[0]);
                     rt.end_read(rid);
-                    assert!(v >= i + 1);
+                    assert!(v > i);
                 }
             }
             rt.machine_barrier();

@@ -11,7 +11,7 @@
 //!
 //! Usage contract (asserted): regions are written only at their home node.
 
-use ace_core::{Actions, AceRt, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -119,7 +119,7 @@ impl Protocol for StaticUpdate {
         for sub in 0..rt.nprocs() {
             if let Some(first) = anchor[sub] {
                 s.outstanding.set(s.outstanding.get() + 1);
-                let payload = std::mem::take(&mut batches[sub]).into_boxed_slice();
+                let payload: std::sync::Arc<[u64]> = std::mem::take(&mut batches[sub]).into();
                 rt.send_proto(sub, first, op::PUSH, 0, Some(payload));
             }
         }
@@ -146,7 +146,7 @@ impl Protocol for StaticUpdate {
             }
             // subscriber side
             op::DATA => {
-                e.install_data(msg.data.as_deref().expect("subscribe reply carries data"));
+                e.install_shared(msg.data.expect("subscribe reply carries data"));
                 e.st.set(R_SHARED);
             }
             op::PUSH => {
@@ -159,9 +159,8 @@ impl Protocol for StaticUpdate {
                     let words = payload[k + 1] as usize;
                     let body = &payload[k + 2..k + 2 + words];
                     k += 2 + words;
-                    let target = rt
-                        .lookup(rid)
-                        .unwrap_or_else(|| panic!("push for unknown region {rid}"));
+                    let target =
+                        rt.lookup(rid).unwrap_or_else(|| panic!("push for unknown region {rid}"));
                     target.install_data(body);
                     if target.st.get() != R_INVALID {
                         target.st.set(R_SHARED);

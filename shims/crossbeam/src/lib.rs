@@ -1,0 +1,17 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the tiny slice of crossbeam it actually uses: MPMC-ish channels with
+//! `unbounded()`, `send`, `try_recv`, and `recv_timeout`. Since Rust 1.72
+//! `std::sync::mpsc` is itself backed by crossbeam's queue and its
+//! `Sender` is `Sync`, so a straight re-export is behaviourally adequate
+//! for the simulator's one-receiver-per-node topology.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded channel, crossbeam-style.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,204 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Uniform choice among boxed arms — built by the `prop_oneof!` macro.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+}
+
+impl<V> Union<V> {
+    /// An empty union; `generate` panics until an arm is pushed.
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Construct from pre-boxed arms.
+    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+        Union { arms }
+    }
+
+    /// Add one equally-weighted arm.
+    pub fn push<S>(&mut self, strat: S)
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| strat.generate(rng)));
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Regex-flavoured string strategy, approximated: any `&str` pattern
+/// yields random strings over a mix of printable ASCII, general Unicode,
+/// whitespace, and (when the pattern permits control characters, i.e. it
+/// is not `\PC`-restricted) raw control bytes. The never-panic lexer and
+/// parser properties only require adversarial coverage, not exact regex
+/// semantics.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let allow_control = !self.contains("\\PC");
+        let len = rng.below(48) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.below(100) {
+                0..=59 => (b' ' + rng.below(95) as u8) as char, // printable ASCII
+                60..=74 => char::from_u32(rng.below(0xD7FF) as u32).unwrap_or('\u{FFFD}'),
+                75..=89 => {
+                    ['\t', '\n', '(', ')', '{', '}', '"', '\\', ';', '*'][rng.below(10) as usize]
+                }
+                _ if allow_control => char::from_u32(rng.below(32) as u32).unwrap_or('\0'),
+                _ => '_',
+            };
+            out.push(c);
+        }
+        out
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements exactly the surface the workspace uses — `StdRng` seeded via
+//! `SeedableRng::seed_from_u64` and `Rng::gen_range` over integer and f64
+//! half-open ranges — on top of SplitMix64. Deterministic across runs and
+//! platforms, which is all the benchmark apps need (they seed per rank).
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`]. The element type
+/// `T` is a trait parameter (not an associated type) so that integer
+/// literals in ranges infer from the expected output type, as upstream.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (unit as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// SplitMix64: tiny, fast, and plenty uniform for workload generation.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The "standard" generator — here SplitMix64 (upstream's StdRng is
+    /// ChaCha12; callers only rely on determinism given a seed).
+    pub type StdRng = super::SplitMix64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let i = r.gen_range(5..100);
+            assert!((5..100).contains(&i));
+            let f = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+}

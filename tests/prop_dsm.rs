@@ -24,10 +24,7 @@ struct Schedule {
 fn schedule() -> impl Strategy<Value = Schedule> {
     (2usize..5, 1usize..5, 1usize..4).prop_flat_map(|(nprocs, nregions, nphases)| {
         proptest::collection::vec(
-            proptest::collection::vec(
-                proptest::option::of((0..nprocs, 1u64..1000)),
-                nregions,
-            ),
+            proptest::collection::vec(proptest::option::of((0..nprocs, 1u64..1000)), nregions),
             nphases,
         )
         .prop_map(move |phases| Schedule { nprocs, nregions, phases })
@@ -52,8 +49,7 @@ fn run_schedule_ace(s: &Schedule, proto: ProtoSpec) -> Vec<Vec<u64>> {
     let r = run_ace(s.nprocs, CostModel::free(), move |rt| {
         let space = rt.new_space(make(ProtoSpec::Sc));
         let regions: Vec<RegionId> = if rt.rank() == 0 {
-            let ids: Vec<u64> =
-                (0..s.nregions).map(|_| rt.gmalloc::<u64>(space, 1).0).collect();
+            let ids: Vec<u64> = (0..s.nregions).map(|_| rt.gmalloc::<u64>(space, 1).0).collect();
             rt.bcast(0, &ids).iter().map(|&x| RegionId(x)).collect()
         } else {
             rt.bcast(0, &[]).iter().map(|&x| RegionId(x)).collect()

@@ -14,8 +14,9 @@ fn random_program() -> impl Strategy<Value = String> {
         (0usize..5, 1i64..50).prop_map(|(v, k)| format!("x{v} = x{v} + {k};")),
         (0usize..5, 0usize..5).prop_map(|(a, b)| format!("x{a} = x{a} * 2 + x{b};")),
         (0usize..5, 1i64..9).prop_map(|(v, k)| format!("x{v} = x{v} % {k} + 1;")),
-        (0usize..5, 0usize..5, 1i64..20)
-            .prop_map(|(a, b, k)| format!("if (x{a} > x{b}) {{ x{a} = x{a} - {k}; }} else {{ x{b} = x{b} + {k}; }}")),
+        (0usize..5, 0usize..5, 1i64..20).prop_map(|(a, b, k)| format!(
+            "if (x{a} > x{b}) {{ x{a} = x{a} - {k}; }} else {{ x{b} = x{b} + {k}; }}"
+        )),
     ];
     (proptest::collection::vec(stmt, 1..12), 1usize..8, 1i64..6).prop_map(
         |(stmts, words, iters)| {

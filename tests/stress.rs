@@ -97,15 +97,17 @@ fn crl_urc_churn_with_tiny_cache() {
     let r = run_spmd(3, CostModel::free(), |node| {
         let crl = CrlRt::with_urc_capacity(node, 2);
         let ids: Vec<RegionId> = if crl.rank() == 0 {
-            let ids: Vec<u64> = (0..12).map(|i| {
-                let r = crl.create_words(1);
-                crl.map(r);
-                crl.start_write(r);
-                crl.with_mut::<u64, _>(r, |d| d[0] = i * 3 + 1);
-                crl.end_write(r);
-                crl.unmap(r);
-                r.0
-            }).collect();
+            let ids: Vec<u64> = (0..12)
+                .map(|i| {
+                    let r = crl.create_words(1);
+                    crl.map(r);
+                    crl.start_write(r);
+                    crl.with_mut::<u64, _>(r, |d| d[0] = i * 3 + 1);
+                    crl.end_write(r);
+                    crl.unmap(r);
+                    r.0
+                })
+                .collect();
             crl.bcast(0, &ids).iter().map(|&x| RegionId(x)).collect()
         } else {
             crl.bcast(0, &[]).iter().map(|&x| RegionId(x)).collect()
