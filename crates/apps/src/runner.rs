@@ -3,8 +3,8 @@
 
 use std::time::Duration;
 
-use ace_core::{run_ace, CostModel, OpCounters};
-use ace_crl::run_crl;
+use ace_core::{run_ace_with, CostModel, MachineBuilder, MachineTrace, OpCounters, Spmd};
+use ace_crl::run_crl_with;
 
 use crate::dsm::{AceDsm, CrlDsm};
 
@@ -23,6 +23,8 @@ pub struct RunOutcome {
     pub bytes: u64,
     /// Machine-wide aggregated operation counters.
     pub counters: OpCounters,
+    /// Merged event trace, when the run was launched with tracing on.
+    pub trace: Option<MachineTrace>,
 }
 
 impl RunOutcome {
@@ -37,7 +39,16 @@ pub fn launch_ace<F>(nprocs: usize, cost: CostModel, f: F) -> RunOutcome
 where
     F: Fn(&AceDsm) -> f64 + Sync,
 {
-    let r = run_ace(nprocs, cost, |rt| {
+    launch_ace_with(Spmd::builder().nprocs(nprocs).cost(cost), f)
+}
+
+/// Run `f` on the Ace runtime with a fully-configured machine (tracing,
+/// watchdog, drain batch).
+pub fn launch_ace_with<F>(builder: MachineBuilder, f: F) -> RunOutcome
+where
+    F: Fn(&AceDsm) -> f64 + Sync,
+{
+    let r = run_ace_with(builder, |rt| {
         let d = AceDsm::new(rt);
         let v = f(&d);
         (v, rt.counters())
@@ -50,7 +61,15 @@ pub fn launch_crl<F>(nprocs: usize, cost: CostModel, f: F) -> RunOutcome
 where
     F: Fn(&CrlDsm) -> f64 + Sync,
 {
-    let r = run_crl(nprocs, cost, |crl| {
+    launch_crl_with(Spmd::builder().nprocs(nprocs).cost(cost), f)
+}
+
+/// Run `f` on the CRL baseline with a fully-configured machine.
+pub fn launch_crl_with<F>(builder: MachineBuilder, f: F) -> RunOutcome
+where
+    F: Fn(&CrlDsm) -> f64 + Sync,
+{
+    let r = run_crl_with(builder, |crl| {
         let d = CrlDsm::new(crl);
         let v = f(&d);
         (v, crl.counters())
@@ -70,6 +89,7 @@ fn collect(r: ace_core::SpmdResult<(f64, OpCounters)>) -> RunOutcome {
         msgs: r.stats.total_msgs(),
         bytes: r.stats.total_bytes(),
         counters,
+        trace: r.trace,
     }
 }
 
@@ -77,6 +97,7 @@ fn collect(r: ace_core::SpmdResult<(f64, OpCounters)>) -> RunOutcome {
 mod tests {
     use super::*;
     use crate::dsm::Dsm;
+    use ace_core::TraceConfig;
 
     #[test]
     fn outcomes_carry_stats() {
@@ -89,5 +110,19 @@ mod tests {
         assert!(out.msgs > 0, "barrier exchanges messages");
         assert!(out.sim_ns > 0);
         assert_eq!(out.counters.barriers, 2);
+        assert!(out.trace.is_none(), "tracing is off by default");
+    }
+
+    #[test]
+    fn traced_launch_carries_trace() {
+        let b = Spmd::builder().nprocs(2).cost(CostModel::cm5()).trace(TraceConfig::on());
+        let out = launch_ace_with(b, |d| {
+            let s = d.new_space(ace_protocols::ProtoSpec::Sc);
+            d.barrier(s);
+            1.0
+        });
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.send_count(), out.msgs);
+        assert!(trace.event_count() > 0);
     }
 }

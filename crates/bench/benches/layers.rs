@@ -3,7 +3,7 @@
 //! message drain. Each bench isolates one layer's hot path.
 
 use ace_core::{run_ace, CostModel, RegionId};
-use ace_machine::{run_spmd, CostModel as MachineCost};
+use ace_machine::{CostModel as MachineCost, Spmd};
 use ace_protocols::{DynamicUpdate, NullProtocol};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::cell::RefCell;
@@ -96,25 +96,28 @@ fn batched_drain(c: &mut Criterion) {
     for &batch in &[1usize, 64] {
         g.bench_function(format!("drain_flood_30k_batch{batch}"), |b| {
             b.iter(|| {
-                run_spmd::<u64, _, _>(2, MachineCost::free(), |node| {
-                    node.set_drain_batch(batch);
-                    const K: usize = 30_000;
-                    if node.rank() == 0 {
-                        for i in 0..K as u64 {
-                            node.send(1, i);
+                Spmd::builder()
+                    .nprocs(2)
+                    .cost(MachineCost::free())
+                    .drain_batch(batch)
+                    .run::<u64, _, _>(|node| {
+                        const K: usize = 30_000;
+                        if node.rank() == 0 {
+                            for i in 0..K as u64 {
+                                node.send(1, i);
+                            }
+                            0
+                        } else {
+                            let seen = RefCell::new(0usize);
+                            node.poll_until(
+                                "flood",
+                                |_, _| *seen.borrow_mut() += 1,
+                                || *seen.borrow() == K,
+                            );
+                            let n = *seen.borrow();
+                            n
                         }
-                        0
-                    } else {
-                        let seen = RefCell::new(0usize);
-                        node.poll_until(
-                            "flood",
-                            |_, _| *seen.borrow_mut() += 1,
-                            || *seen.borrow() == K,
-                        );
-                        let n = *seen.borrow();
-                        n
-                    }
-                })
+                    })
             })
         });
     }

@@ -5,7 +5,7 @@
 
 use ace_apps::runner::{launch_ace, RunOutcome};
 use ace_apps::{em3d, Variant};
-use ace_core::{run_spmd, CostModel, RegionId};
+use ace_core::{CostModel, RegionId, Spmd};
 use ace_crl::CrlRt;
 
 fn em3d_speedup(cost: CostModel) -> f64 {
@@ -59,7 +59,7 @@ fn main() {
 
     println!("\n== Ablation 3: CRL unmapped-region-cache capacity (4096-region sweep) ==");
     for cap in [64usize, 256, 1024, 4096] {
-        let r = run_spmd(2, CostModel::cm5(), move |node| {
+        let r = Spmd::builder().nprocs(2).cost(CostModel::cm5()).run(move |node| {
             let crl = CrlRt::with_urc_capacity(node, cap);
             let ids: Vec<u64> = if crl.rank() == 0 {
                 let ids: Vec<u64> = (0..2048).map(|_| crl.create_words(4).0).collect();

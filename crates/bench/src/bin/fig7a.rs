@@ -2,8 +2,10 @@
 //! sequentially-consistent invalidation protocol.
 //!
 //! Usage: fig7a [--small|--paper] [--procs N] [--runs K] [--json PATH]
+//!        [--trace PATH]  (re-runs EM3D traced and writes Chrome JSON)
 
-use ace_bench::fig7::{fig7a, Scale};
+use ace_apps::Variant;
+use ace_bench::fig7::{fig7a, write_trace, Scale};
 use ace_bench::json::{self, JsonRow};
 
 fn main() {
@@ -34,6 +36,11 @@ fn main() {
         }
         json::write(std::path::Path::new(&path), &out).expect("write --json file");
         println!("wrote {} rows to {path}", out.len());
+    }
+
+    if let Some(path) = arg_str(&args, "--trace") {
+        write_trace("em3d", scale, Variant::Sc, procs, std::path::Path::new(&path))
+            .expect("write --trace file");
     }
 }
 

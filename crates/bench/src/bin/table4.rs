@@ -2,8 +2,11 @@
 //! kernels, against hand-written runtime-system code.
 //!
 //! Usage: table4 [--procs N] [--json PATH]
+//!        [--trace PATH]  (re-runs EM3D/custom traced and writes Chrome JSON)
 
+use ace_apps::Variant;
 use ace_bench::acec::table4;
+use ace_bench::fig7::{write_trace, Scale};
 use ace_bench::json::{self, JsonRow};
 use ace_lang::OptLevel;
 
@@ -58,5 +61,12 @@ fn main() {
         }
         json::write(std::path::Path::new(&path), &out).expect("write --json file");
         println!("wrote {} rows to {path}", out.len());
+    }
+
+    if let Some(path) =
+        args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned()
+    {
+        write_trace("em3d", Scale::Default, Variant::Custom, procs, std::path::Path::new(&path))
+            .expect("write --trace file");
     }
 }

@@ -1,0 +1,63 @@
+//! CI gate for the trace layer: run one traced fig7b configuration (EM3D
+//! under its custom protocol), export Chrome `trace_event` JSON, and
+//! validate it — schema-parses, virtual time is monotone per track, and
+//! the message flow arrows match the machine's send statistics.
+//!
+//! Usage: tracecheck [--procs N] [--out PATH]
+//!
+//! Exits non-zero (panics) on any violation.
+
+use ace_apps::Variant;
+use ace_bench::fig7::{fig_machine, run_ace_app_on, Scale};
+use ace_core::{validate_chrome_trace, TraceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let procs = args
+        .iter()
+        .position(|a| a == "--procs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let out = run_ace_app_on(
+        "em3d",
+        Scale::Small,
+        Variant::Custom,
+        fig_machine(procs).trace(TraceConfig::on()),
+    );
+    let trace = out.trace.as_ref().expect("traced run carries a trace");
+    let doc = trace.to_chrome_json();
+
+    if let Some(path) = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)) {
+        std::fs::write(path, &doc).expect("write --out file");
+        println!("wrote {} bytes to {path}", doc.len());
+    }
+
+    let check = validate_chrome_trace(&doc).expect("exported trace must be schema-valid");
+    println!(
+        "trace ok: {} events across {} tracks, {} flow arrows",
+        check.events, check.tracks, check.flows_matched
+    );
+
+    assert_eq!(check.tracks, procs as u64, "one track per node");
+    assert_eq!(
+        trace.send_count(),
+        out.msgs,
+        "trace Send events must match machine send statistics"
+    );
+    assert_eq!(check.flow_starts, out.msgs, "one flow arrow start per message sent");
+    assert_eq!(
+        check.flow_starts, check.flows_matched,
+        "every flow start must pair with a flow finish"
+    );
+    for n in &trace.nodes {
+        assert!(
+            n.events.windows(2).all(|w| w[0].t <= w[1].t),
+            "node {} events must be virtual-time monotone",
+            n.rank
+        );
+        assert_eq!(n.dropped, 0, "node {} dropped trace events (ring too small)", n.rank);
+    }
+    println!("tracecheck passed: {} messages, {} procs", out.msgs, procs);
+}

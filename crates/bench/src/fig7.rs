@@ -1,9 +1,9 @@
 //! Figure 7 computations: per-benchmark runs on both runtimes and under
 //! both protocol assignments.
 
-use ace_apps::runner::{launch_ace, launch_crl, RunOutcome};
+use ace_apps::runner::{launch_ace_with, launch_crl_with, RunOutcome};
 use ace_apps::{barnes, bsc, em3d, tsp, water, Variant};
-use ace_core::CostModel;
+use ace_core::{CostModel, MachineBuilder, Spmd, TraceConfig};
 
 /// The five benchmarks, in the paper's order.
 pub const APPS: [&str; 5] = ["barnes", "bsc", "em3d", "tsp", "water"];
@@ -68,29 +68,39 @@ fn water_params(s: Scale) -> water::Params {
     }
 }
 
+/// The standard machine for figure runs: cm5 costs, `nprocs` nodes.
+pub fn fig_machine(nprocs: usize) -> MachineBuilder {
+    Spmd::builder().nprocs(nprocs).cost(CostModel::cm5())
+}
+
 /// Run one benchmark on the Ace runtime.
 pub fn run_ace_app(app: &str, scale: Scale, v: Variant, nprocs: usize) -> RunOutcome {
-    let cost = CostModel::cm5();
+    run_ace_app_on(app, scale, v, fig_machine(nprocs))
+}
+
+/// Run one benchmark on the Ace runtime on a fully-configured machine
+/// (tracing, watchdog, ...).
+pub fn run_ace_app_on(app: &str, scale: Scale, v: Variant, builder: MachineBuilder) -> RunOutcome {
     match app {
         "em3d" => {
             let p = em3d_params(scale);
-            launch_ace(nprocs, cost, move |d| em3d::run(d, &p, v))
+            launch_ace_with(builder, move |d| em3d::run(d, &p, v))
         }
         "barnes" => {
             let p = barnes_params(scale);
-            launch_ace(nprocs, cost, move |d| barnes::run(d, &p, v))
+            launch_ace_with(builder, move |d| barnes::run(d, &p, v))
         }
         "bsc" => {
             let p = bsc_params(scale);
-            launch_ace(nprocs, cost, move |d| bsc::run(d, &p, v))
+            launch_ace_with(builder, move |d| bsc::run(d, &p, v))
         }
         "tsp" => {
             let p = tsp_params(scale);
-            launch_ace(nprocs, cost, move |d| tsp::run(d, &p, v))
+            launch_ace_with(builder, move |d| tsp::run(d, &p, v))
         }
         "water" => {
             let p = water_params(scale);
-            launch_ace(nprocs, cost, move |d| water::run(d, &p, v))
+            launch_ace_with(builder, move |d| water::run(d, &p, v))
         }
         other => panic!("unknown app {other}"),
     }
@@ -98,30 +108,57 @@ pub fn run_ace_app(app: &str, scale: Scale, v: Variant, nprocs: usize) -> RunOut
 
 /// Run one benchmark on the CRL baseline (always the fixed SC protocol).
 pub fn run_crl_app(app: &str, scale: Scale, nprocs: usize) -> RunOutcome {
-    let cost = CostModel::cm5();
+    run_crl_app_on(app, scale, fig_machine(nprocs))
+}
+
+/// Run one benchmark on the CRL baseline on a fully-configured machine.
+pub fn run_crl_app_on(app: &str, scale: Scale, builder: MachineBuilder) -> RunOutcome {
     match app {
         "em3d" => {
             let p = em3d_params(scale);
-            launch_crl(nprocs, cost, move |d| em3d::run(d, &p, Variant::Sc))
+            launch_crl_with(builder, move |d| em3d::run(d, &p, Variant::Sc))
         }
         "barnes" => {
             let p = barnes_params(scale);
-            launch_crl(nprocs, cost, move |d| barnes::run(d, &p, Variant::Sc))
+            launch_crl_with(builder, move |d| barnes::run(d, &p, Variant::Sc))
         }
         "bsc" => {
             let p = bsc_params(scale);
-            launch_crl(nprocs, cost, move |d| bsc::run(d, &p, Variant::Sc))
+            launch_crl_with(builder, move |d| bsc::run(d, &p, Variant::Sc))
         }
         "tsp" => {
             let p = tsp_params(scale);
-            launch_crl(nprocs, cost, move |d| tsp::run(d, &p, Variant::Sc))
+            launch_crl_with(builder, move |d| tsp::run(d, &p, Variant::Sc))
         }
         "water" => {
             let p = water_params(scale);
-            launch_crl(nprocs, cost, move |d| water::run(d, &p, Variant::Sc))
+            launch_crl_with(builder, move |d| water::run(d, &p, Variant::Sc))
         }
         other => panic!("unknown app {other}"),
     }
+}
+
+/// Re-run one app traced and write its Chrome `trace_event` JSON to
+/// `path` (loadable in Perfetto / `chrome://tracing`). Prints the
+/// per-protocol summary table to stdout and returns the traced outcome.
+pub fn write_trace(
+    app: &str,
+    scale: Scale,
+    v: Variant,
+    nprocs: usize,
+    path: &std::path::Path,
+) -> std::io::Result<RunOutcome> {
+    let out = run_ace_app_on(app, scale, v, fig_machine(nprocs).trace(TraceConfig::on()));
+    let trace = out.trace.as_ref().expect("traced run carries a trace");
+    std::fs::write(path, trace.to_chrome_json())?;
+    println!("\n== trace: {app} ({nprocs} procs) -> {} ==", path.display());
+    println!(
+        "{} events, {} messages; open the file in https://ui.perfetto.dev",
+        trace.event_count(),
+        trace.send_count()
+    );
+    print!("{}", trace.summary().render());
+    Ok(out)
 }
 
 /// Accounting summary of one benchmark configuration over `runs`

@@ -1,0 +1,112 @@
+//! Structured runtime errors.
+//!
+//! The historical annotation API panics on misuse (an unmapped region is
+//! the DSM equivalent of a wild pointer). [`AceError`] gives the same
+//! failures a typed, `Result`-returning surface — [`crate::AceRt::try_entry`]
+//! and friends — and routes the panicking paths through it so every
+//! diagnostic carries the region, the space, and the last hook the runtime
+//! executed on the failing node.
+
+use std::fmt;
+
+use crate::ids::{RegionId, SpaceId};
+
+/// A failed runtime operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AceError {
+    /// The region has no entry on this node: it was never `gmalloc`ed
+    /// here, mapped here, or fetched here by a lock.
+    UnknownRegion {
+        /// The region that was asked for.
+        region: RegionId,
+        /// The asking node.
+        rank: usize,
+        /// The last annotation hook the runtime ran on this node before
+        /// the failure ("none" if no hook has run yet).
+        last_hook: &'static str,
+    },
+    /// The region exists but belongs to a different space than required.
+    SpaceMismatch {
+        /// The region that was asked for.
+        region: RegionId,
+        /// The space the caller required.
+        expected: SpaceId,
+        /// The space the region actually belongs to.
+        actual: SpaceId,
+    },
+    /// The region's entry survives as an unmapped cache entry (CRL-style
+    /// unmapped-region caching) but the caller asked for a mapped view.
+    UseAfterUnmap {
+        /// The unmapped region.
+        region: RegionId,
+        /// The asking node.
+        rank: usize,
+        /// The last annotation hook the runtime ran on this node.
+        last_hook: &'static str,
+    },
+    /// No space with this id exists on this node.
+    UnknownSpace {
+        /// The space that was asked for.
+        space: SpaceId,
+        /// The asking node.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for AceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AceError::UnknownRegion { region, rank, last_hook } => {
+                write!(f, "region {region} not known on node {rank} (last hook: {last_hook})")
+            }
+            AceError::SpaceMismatch { region, expected, actual } => {
+                write!(f, "region {region} belongs to space {actual}, expected space {expected}")
+            }
+            AceError::UseAfterUnmap { region, rank, last_hook } => {
+                write!(
+                    f,
+                    "region {region} is no longer mapped on node {rank} \
+                     (last hook: {last_hook})"
+                )
+            }
+            AceError::UnknownSpace { space, rank } => {
+                write!(f, "unknown space {space} on node {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_region_message_keeps_wild_pointer_phrase() {
+        // Downstream panic tests (and users' muscle memory) match on this
+        // substring; the Display must keep it stable.
+        let e = AceError::UnknownRegion {
+            region: RegionId::new(0, 99),
+            rank: 3,
+            last_hook: "start_read",
+        };
+        let s = e.to_string();
+        assert!(s.contains("not known on node 3"), "{s}");
+        assert!(s.contains("start_read"), "{s}");
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let r = RegionId::new(1, 2);
+        assert!(AceError::SpaceMismatch { region: r, expected: SpaceId(0), actual: SpaceId(1) }
+            .to_string()
+            .contains("expected space"));
+        assert!(AceError::UseAfterUnmap { region: r, rank: 0, last_hook: "unmap" }
+            .to_string()
+            .contains("no longer mapped"));
+        assert!(AceError::UnknownSpace { space: SpaceId(7), rank: 1 }
+            .to_string()
+            .contains("unknown space"));
+    }
+}

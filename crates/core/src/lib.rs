@@ -26,6 +26,7 @@
 //! active-message handler for their wire protocol.
 
 pub mod counters;
+pub mod error;
 pub mod ids;
 pub mod msg;
 pub mod protocol;
@@ -34,8 +35,12 @@ pub mod rt;
 pub mod space;
 
 pub use ace_machine::pod::{self, Pod};
-pub use ace_machine::{run_spmd, CostModel, Envelope, Node, SpmdResult};
+pub use ace_machine::{
+    validate_chrome_trace, ChromeCheck, CostModel, Envelope, EventKind, Hook, MachineBuilder,
+    MachineTrace, Node, NodeTrace, Spmd, SpmdResult, TraceConfig, TraceEvent, TraceSummary,
+};
 pub use counters::OpCounters;
+pub use error::AceError;
 pub use ids::{RegionId, SpaceId};
 pub use msg::{AceMsg, ProtoMsg};
 pub use protocol::{Actions, Protocol};
@@ -47,13 +52,37 @@ pub use space::SpaceEntry;
 ///
 /// Each node gets a fresh [`AceRt`] over its [`Node`]. The runtime appends a
 /// machine-wide shutdown barrier after `f` returns so the quiescence
-/// contract of the substrate holds.
+/// contract of the substrate holds. For non-default machine configuration
+/// (tracing, watchdog, drain batch) use [`run_ace_with`] with a
+/// [`MachineBuilder`].
 pub fn run_ace<R, F>(nprocs: usize, cost: CostModel, f: F) -> SpmdResult<R>
 where
     R: Send,
     F: Fn(&AceRt) -> R + Sync,
 {
-    run_spmd(nprocs, cost, |node| {
+    run_ace_with(Spmd::builder().nprocs(nprocs).cost(cost), f)
+}
+
+/// Run an SPMD Ace program on a fully-configured [`MachineBuilder`].
+///
+/// Same shutdown-barrier contract as [`run_ace`]; this is the entry point
+/// for traced runs:
+///
+/// ```
+/// use ace_core::{run_ace_with, CostModel, Spmd, TraceConfig};
+///
+/// let r = run_ace_with(
+///     Spmd::builder().nprocs(2).cost(CostModel::cm5()).trace(TraceConfig::on()),
+///     |rt| rt.rank(),
+/// );
+/// assert!(r.trace.is_some());
+/// ```
+pub fn run_ace_with<R, F>(builder: MachineBuilder, f: F) -> SpmdResult<R>
+where
+    R: Send,
+    F: Fn(&AceRt) -> R + Sync,
+{
+    builder.run(|node| {
         let rt = AceRt::new(node);
         let r = f(&rt);
         rt.shutdown();

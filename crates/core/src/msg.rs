@@ -71,6 +71,21 @@ impl MsgSize for AceMsg {
             AceMsg::Bcast { vals, .. } | AceMsg::Gather { vals, .. } => 8 + vals.len() * 8,
         }
     }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            AceMsg::Proto(_) => "proto",
+            AceMsg::MetaReq { .. } => "meta_req",
+            AceMsg::MetaReply { .. } => "meta_reply",
+            AceMsg::BarArrive { .. } => "bar_arrive",
+            AceMsg::BarRelease { .. } => "bar_release",
+            AceMsg::LockReq { .. } => "lock_req",
+            AceMsg::LockGrant { .. } => "lock_grant",
+            AceMsg::LockRelease { .. } => "lock_release",
+            AceMsg::Bcast { .. } => "bcast",
+            AceMsg::Gather { .. } => "gather",
+        }
+    }
 }
 
 #[cfg(test)]

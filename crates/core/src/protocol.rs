@@ -55,6 +55,14 @@ pub trait Protocol: 'static {
     /// Protocol name, as registered with the system (Figure 1).
     fn name(&self) -> &'static str;
 
+    /// Human-readable name for a protocol-private message opcode, used to
+    /// label `handle` hook spans in traces. Protocols that define a
+    /// `mod op` opcode table should override this; the default labels
+    /// every opcode `"op"`.
+    fn op_name(&self, _op: u16) -> &'static str {
+        "op"
+    }
+
     /// Whether the compiler may move or merge this protocol's calls
     /// (the `Optimizable` flag of Figure 1). Protocols whose accesses must
     /// appear atomic — like the default sequentially-consistent protocol —

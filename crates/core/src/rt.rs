@@ -6,9 +6,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use ace_machine::pod::{self, Pod};
-use ace_machine::{Envelope, Node};
+use ace_machine::{Envelope, EventKind, Hook, Node};
 
 use crate::counters::OpCounters;
+use crate::error::AceError;
 use crate::ids::{RegionId, SpaceId};
 use crate::msg::{AceMsg, ProtoMsg};
 use crate::protocol::Protocol;
@@ -70,6 +71,10 @@ pub struct AceRt<'n> {
     gather_seq: Cell<u64>,
     gather_recv: RefCell<HashMap<u64, GatherBuf>>,
     counters: RefCell<OpCounters>,
+    /// The annotation hook most recently entered on this node ("none"
+    /// before the first). Tracked unconditionally (a `Cell` store) so
+    /// error diagnostics carry it even when tracing is off.
+    last_hook: Cell<&'static str>,
 }
 
 impl<'n> AceRt<'n> {
@@ -92,7 +97,126 @@ impl<'n> AceRt<'n> {
             gather_seq: Cell::new(0),
             gather_recv: RefCell::new(HashMap::new()),
             counters: RefCell::new(OpCounters::default()),
+            last_hook: Cell::new("none"),
         }
+    }
+
+    /// The last annotation hook entered on this node (see `last_hook`).
+    pub fn last_hook(&self) -> &'static str {
+        self.last_hook.get()
+    }
+
+    // ------------------------------------------------------------------
+    // Event tracing
+    //
+    // Every instrumentation point starts with the sink's inlined
+    // `enabled()` check, so with tracing off (the default) the cost is a
+    // single predictable branch per hook — no event construction, no
+    // state reads.
+    // ------------------------------------------------------------------
+
+    /// Open a traced hook span on `e`. Returns the region's protocol
+    /// state code at entry (0 when tracing is off), which the matching
+    /// [`AceRt::hook_exit`] diffs to synthesize `State` events.
+    #[inline]
+    fn hook_enter(&self, hook: Hook, e: &RegionEntry, proto: &'static str) -> u32 {
+        self.hook_enter_detail(hook, e, proto, "")
+    }
+
+    #[inline]
+    fn hook_enter_detail(
+        &self,
+        hook: Hook,
+        e: &RegionEntry,
+        proto: &'static str,
+        detail: &'static str,
+    ) -> u32 {
+        self.last_hook.set(hook.name());
+        let sink = self.node.trace_sink();
+        if !sink.enabled() {
+            return 0;
+        }
+        sink.emit(
+            self.node.now(),
+            EventKind::HookEnter { hook, region: e.id.0, space: e.space.0, proto, detail },
+        );
+        e.st.get()
+    }
+
+    /// Close a traced hook span opened by [`AceRt::hook_enter`], emitting
+    /// a `State` transition event if the region's state code changed
+    /// across the hook (this is how protocol state machines appear in the
+    /// timeline without protocols emitting anything themselves).
+    #[inline]
+    fn hook_exit(&self, st_before: u32, hook: Hook, e: &RegionEntry, proto: &'static str) {
+        self.hook_exit_detail(st_before, hook, e, proto, "");
+    }
+
+    #[inline]
+    fn hook_exit_detail(
+        &self,
+        st_before: u32,
+        hook: Hook,
+        e: &RegionEntry,
+        proto: &'static str,
+        detail: &'static str,
+    ) {
+        let sink = self.node.trace_sink();
+        if !sink.enabled() {
+            return;
+        }
+        let st_after = e.st.get();
+        if st_after != st_before {
+            sink.emit(
+                self.node.now(),
+                EventKind::State { region: e.id.0, from: st_before, to: st_after },
+            );
+        }
+        sink.emit(
+            self.node.now(),
+            EventKind::HookExit { hook, region: e.id.0, space: e.space.0, proto, detail },
+        );
+    }
+
+    /// Open a traced span for a region-less hook (the barrier is scoped
+    /// to a space, not a region). Uses [`ace_machine::NO_REGION`] as the
+    /// region field.
+    #[inline]
+    fn hook_enter_space(&self, hook: Hook, space: SpaceId, proto: &'static str) {
+        self.last_hook.set(hook.name());
+        let sink = self.node.trace_sink();
+        if !sink.enabled() {
+            return;
+        }
+        sink.emit(
+            self.node.now(),
+            EventKind::HookEnter {
+                hook,
+                region: ace_machine::NO_REGION,
+                space: space.0,
+                proto,
+                detail: "",
+            },
+        );
+    }
+
+    /// Close a span opened by [`AceRt::hook_enter_space`].
+    #[inline]
+    fn hook_exit_space(&self, hook: Hook, space: SpaceId, proto: &'static str) {
+        let sink = self.node.trace_sink();
+        if !sink.enabled() {
+            return;
+        }
+        sink.emit(
+            self.node.now(),
+            EventKind::HookExit {
+                hook,
+                region: ace_machine::NO_REGION,
+                space: space.0,
+                proto,
+                detail: "",
+            },
+        );
     }
 
     /// This node's rank.
@@ -198,7 +322,10 @@ impl<'n> AceRt<'n> {
                     .lookup(pm.region)
                     .unwrap_or_else(|| panic!("protocol msg for unknown region {}", pm.region));
                 let proto = self.space(e.space).proto();
+                let (pname, detail) = (proto.name(), proto.op_name(pm.op));
+                let st0 = self.hook_enter_detail(Hook::Handle, &e, pname, detail);
                 proto.handle(self, &e, pm, src);
+                self.hook_exit_detail(st0, Hook::Handle, &e, pname, detail);
             }
             AceMsg::MetaReq { region } => {
                 let e = self
@@ -270,13 +397,23 @@ impl<'n> AceRt<'n> {
         id
     }
 
+    /// Look up a space entry, reporting an [`AceError::UnknownSpace`] if
+    /// this node has never created it.
+    pub fn try_space(&self, id: SpaceId) -> Result<Rc<SpaceEntry>, AceError> {
+        self.spaces
+            .borrow()
+            .get(&id.0)
+            .cloned()
+            .ok_or(AceError::UnknownSpace { space: id, rank: self.rank() })
+    }
+
     /// Look up a space entry.
     ///
     /// # Panics
     ///
     /// Panics if the space does not exist on this node.
     pub fn space(&self, id: SpaceId) -> Rc<SpaceEntry> {
-        self.spaces.borrow().get(&id.0).cloned().unwrap_or_else(|| panic!("unknown space {id}"))
+        self.try_space(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Change the protocol of a space (collective). The semantics follow
@@ -378,10 +515,51 @@ impl<'n> AceRt<'n> {
         }
     }
 
+    /// [`AceRt::lookup`] with a typed error: `Err(UnknownRegion)` — which
+    /// carries this node's rank and the last hook traced — instead of
+    /// `None` when the region has no entry here.
+    pub fn try_lookup(&self, r: RegionId) -> Result<Rc<RegionEntry>, AceError> {
+        self.lookup(r).ok_or_else(|| AceError::UnknownRegion {
+            region: r,
+            rank: self.rank(),
+            last_hook: self.last_hook.get(),
+        })
+    }
+
+    /// Resolve a region the caller is about to *access*: the entry must
+    /// exist and be usable — mapped, inside an open access section, or at
+    /// its home. An entry that survives only as an unmapped cache line
+    /// (CRL-style unmapped-region caching) yields
+    /// [`AceError::UseAfterUnmap`] rather than handing out stale data.
+    pub fn try_entry(&self, r: RegionId) -> Result<Rc<RegionEntry>, AceError> {
+        let e = self.try_lookup(r)?;
+        if e.mapped.get() == 0 && !e.busy() && !e.is_home_of(self.rank()) {
+            return Err(AceError::UseAfterUnmap {
+                region: r,
+                rank: self.rank(),
+                last_hook: self.last_hook.get(),
+            });
+        }
+        Ok(e)
+    }
+
+    /// [`AceRt::try_entry`] constrained to a space: a region that resolves
+    /// but belongs elsewhere yields [`AceError::SpaceMismatch`]. Used when
+    /// an id crosses an API boundary typed only as "a region of space S".
+    pub fn try_entry_in(&self, r: RegionId, sid: SpaceId) -> Result<Rc<RegionEntry>, AceError> {
+        let e = self.try_entry(r)?;
+        if e.space != sid {
+            return Err(AceError::SpaceMismatch { region: r, expected: sid, actual: e.space });
+        }
+        Ok(e)
+    }
+
     /// Look up a region entry, panicking if the region was never mapped
-    /// here (the equivalent of dereferencing an unmapped pointer).
+    /// here (the equivalent of dereferencing an unmapped pointer). The
+    /// panic message is [`AceError::UnknownRegion`]'s, naming the region,
+    /// the node, and the last hook the runtime traced before the failure.
     pub fn entry(&self, r: RegionId) -> Rc<RegionEntry> {
-        self.lookup(r).unwrap_or_else(|| panic!("region {r} not known on node {}", self.rank()))
+        self.try_lookup(r).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Make sure this node has an entry for `r`, fetching metadata from
@@ -407,7 +585,9 @@ impl<'n> AceRt<'n> {
             self.counters.borrow_mut().map_hits += 1;
             e.mapped.set(e.mapped.get() + 1);
             let proto = self.space(e.space).proto();
+            let st0 = self.hook_enter(Hook::Map, &e, proto.name());
             proto.on_map(self, &e);
+            self.hook_exit(st0, Hook::Map, &e, proto.name());
             return;
         }
         assert_ne!(r.home(), self.rank(), "home regions exist from gmalloc");
@@ -417,7 +597,9 @@ impl<'n> AceRt<'n> {
         let e = self.entry(r);
         e.mapped.set(1);
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::Map, &e, proto.name());
         proto.on_map(self, &e);
+        self.hook_exit(st0, Hook::Map, &e, proto.name());
     }
 
     /// `ACE_UNMAP`. The cache entry is retained (CRL-style unmapped-region
@@ -428,7 +610,9 @@ impl<'n> AceRt<'n> {
         assert!(e.mapped.get() > 0, "unmap of unmapped region {r}");
         e.mapped.set(e.mapped.get() - 1);
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::Unmap, &e, proto.name());
         proto.on_unmap(self, &e);
+        self.hook_exit(st0, Hook::Unmap, &e, proto.name());
     }
 
     fn dispatch_charge(&self) {
@@ -442,7 +626,9 @@ impl<'n> AceRt<'n> {
         self.dispatch_charge();
         self.counters.borrow_mut().start_reads += 1;
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::StartRead, &e, proto.name());
         proto.start_read(self, &e);
+        self.hook_exit(st0, Hook::StartRead, &e, proto.name());
         e.read_active.set(e.read_active.get() + 1);
     }
 
@@ -454,7 +640,9 @@ impl<'n> AceRt<'n> {
         assert!(e.read_active.get() > 0, "end_read outside a read section on {r}");
         e.read_active.set(e.read_active.get() - 1);
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::EndRead, &e, proto.name());
         proto.end_read(self, &e);
+        self.hook_exit(st0, Hook::EndRead, &e, proto.name());
     }
 
     /// `ACE_START_WRITE`.
@@ -463,7 +651,9 @@ impl<'n> AceRt<'n> {
         self.dispatch_charge();
         self.counters.borrow_mut().start_writes += 1;
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::StartWrite, &e, proto.name());
         proto.start_write(self, &e);
+        self.hook_exit(st0, Hook::StartWrite, &e, proto.name());
         e.write_active.set(e.write_active.get() + 1);
     }
 
@@ -475,7 +665,9 @@ impl<'n> AceRt<'n> {
         assert!(e.write_active.get() > 0, "end_write outside a write section on {r}");
         e.write_active.set(e.write_active.get() - 1);
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::EndWrite, &e, proto.name());
         proto.end_write(self, &e);
+        self.hook_exit(st0, Hook::EndWrite, &e, proto.name());
     }
 
     // ------------------------------------------------------------------
@@ -497,7 +689,9 @@ impl<'n> AceRt<'n> {
         let e = self.entry(r);
         self.direct_charge();
         self.counters.borrow_mut().start_reads += 1;
+        let st0 = self.hook_enter(Hook::StartRead, &e, proto.name());
         proto.start_read(self, &e);
+        self.hook_exit(st0, Hook::StartRead, &e, proto.name());
         e.read_active.set(e.read_active.get() + 1);
     }
 
@@ -509,7 +703,9 @@ impl<'n> AceRt<'n> {
         self.direct_charge();
         self.counters.borrow_mut().ends += 1;
         e.read_active.set(e.read_active.get().saturating_sub(1));
+        let st0 = self.hook_enter(Hook::EndRead, &e, proto.name());
         proto.end_read(self, &e);
+        self.hook_exit(st0, Hook::EndRead, &e, proto.name());
     }
 
     /// `ACE_START_WRITE` with a statically-resolved protocol.
@@ -517,7 +713,9 @@ impl<'n> AceRt<'n> {
         let e = self.entry(r);
         self.direct_charge();
         self.counters.borrow_mut().start_writes += 1;
+        let st0 = self.hook_enter(Hook::StartWrite, &e, proto.name());
         proto.start_write(self, &e);
+        self.hook_exit(st0, Hook::StartWrite, &e, proto.name());
         e.write_active.set(e.write_active.get() + 1);
     }
 
@@ -528,21 +726,27 @@ impl<'n> AceRt<'n> {
         self.direct_charge();
         self.counters.borrow_mut().ends += 1;
         e.write_active.set(e.write_active.get().saturating_sub(1));
+        let st0 = self.hook_enter(Hook::EndWrite, &e, proto.name());
         proto.end_write(self, &e);
+        self.hook_exit(st0, Hook::EndWrite, &e, proto.name());
     }
 
     /// `Ace_Lock` with a statically-resolved protocol.
     pub fn lock_direct(&self, r: RegionId, proto: &dyn Protocol) {
         let e = self.ensure_entry(r);
         self.direct_charge();
+        let st0 = self.hook_enter(Hook::Lock, &e, proto.name());
         proto.lock(self, &e);
+        self.hook_exit(st0, Hook::Lock, &e, proto.name());
     }
 
     /// `Ace_UnLock` with a statically-resolved protocol.
     pub fn unlock_direct(&self, r: RegionId, proto: &dyn Protocol) {
         let e = self.ensure_entry(r);
         self.direct_charge();
+        let st0 = self.hook_enter(Hook::Unlock, &e, proto.name());
         proto.unlock(self, &e);
+        self.hook_exit(st0, Hook::Unlock, &e, proto.name());
     }
 
     /// Drop a region entry from this node's table after flushing its
@@ -564,6 +768,41 @@ impl<'n> AceRt<'n> {
         self.region_cache_invalidate(r);
     }
 
+    // ------------------------------------------------------------------
+    // Typed data access
+    //
+    // Four variants, one contract matrix:
+    //
+    // |                  | checked (section asserted)   | unchecked            |
+    // | read  (`&[T]`)   | `with`                       | `with_unchecked`     |
+    // | write (`&mut[T]`)| `with_mut`                   | `with_mut_unchecked` |
+    //
+    // The *checked* variants debug-assert the paper's annotation contract:
+    // reads happen inside a read or write section, writes inside a write
+    // section. The *unchecked* variants exist for compiled code whose null
+    // `start`/`end` annotations were removed by the direct-dispatch
+    // optimization — the section discipline still holds in the program
+    // logic, but the runtime can no longer see it, so only the weaker
+    // invariant is asserted: the region must at least be locally usable
+    // (mapped, in a section, or home-resident). All four take the typed
+    // closure rather than returning a guard so borrow scope is explicit.
+    // ------------------------------------------------------------------
+
+    /// Typed slice length for a region entry, in elements of `T`.
+    fn typed_count<T: Pod>(e: &RegionEntry) -> usize {
+        e.words * 8 / std::mem::size_of::<T>()
+    }
+
+    /// Weak usability assertion for the unchecked accessors: the data must
+    /// still be locally meaningful even if no section is open.
+    fn debug_assert_usable(&self, e: &RegionEntry) {
+        debug_assert!(
+            e.mapped.get() > 0 || e.busy() || e.is_home_of(self.rank()),
+            "unchecked access to region {} that is unmapped, idle, and not home here",
+            e.id
+        );
+    }
+
     /// Read-access the region data as a typed slice. Must be inside a read
     /// or write section (debug-asserted), mirroring the paper's contract
     /// that accesses happen between `START` and `END` annotations.
@@ -571,26 +810,17 @@ impl<'n> AceRt<'n> {
         let e = self.entry(r);
         debug_assert!(e.busy(), "data access outside an access section on {r}");
         let d = e.data.borrow();
-        let count = e.words * 8 / std::mem::size_of::<T>();
-        f(pod::view(&d, count))
+        f(pod::view(&d, Self::typed_count::<T>(&e)))
     }
 
-    /// Read-access region data without the access-section debug check.
-    /// For compiled code whose null `start`/`end` annotations were removed
-    /// by the direct-dispatch optimization.
+    /// Read-access region data without the access-section debug check (see
+    /// the contract matrix above). Still debug-asserts the region is
+    /// locally usable.
     pub fn with_unchecked<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&[T]) -> R) -> R {
         let e = self.entry(r);
+        self.debug_assert_usable(&e);
         let d = e.data.borrow();
-        let count = e.words * 8 / std::mem::size_of::<T>();
-        f(pod::view(&d, count))
-    }
-
-    /// Write-access region data without the access-section debug check
-    /// (see [`AceRt::with_unchecked`]).
-    pub fn with_mut_unchecked<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&mut [T]) -> R) -> R {
-        let e = self.entry(r);
-        let count = e.words * 8 / std::mem::size_of::<T>();
-        e.with_data_mut(|d| f(pod::view_mut(d, count)))
+        f(pod::view(&d, Self::typed_count::<T>(&e)))
     }
 
     /// Write-access the region data as a typed slice. Must be inside a
@@ -598,7 +828,17 @@ impl<'n> AceRt<'n> {
     pub fn with_mut<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&mut [T]) -> R) -> R {
         let e = self.entry(r);
         debug_assert!(e.write_active.get() > 0, "mutable access outside a write section on {r}");
-        let count = e.words * 8 / std::mem::size_of::<T>();
+        let count = Self::typed_count::<T>(&e);
+        e.with_data_mut(|d| f(pod::view_mut(d, count)))
+    }
+
+    /// Write-access region data without the write-section debug check (see
+    /// the contract matrix above). Still debug-asserts the region is
+    /// locally usable.
+    pub fn with_mut_unchecked<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&mut [T]) -> R) -> R {
+        let e = self.entry(r);
+        self.debug_assert_usable(&e);
+        let count = Self::typed_count::<T>(&e);
         e.with_data_mut(|d| f(pod::view_mut(d, count)))
     }
 
@@ -612,7 +852,9 @@ impl<'n> AceRt<'n> {
         self.counters.borrow_mut().barriers += 1;
         let s = self.space(sid);
         let proto = s.proto();
+        self.hook_enter_space(Hook::Barrier, sid, proto.name());
         proto.barrier(self, &s);
+        self.hook_exit_space(Hook::Barrier, sid, proto.name());
     }
 
     /// The plain machine barrier a protocol's `barrier` hook typically
@@ -672,7 +914,9 @@ impl<'n> AceRt<'n> {
         let e = self.ensure_entry(r);
         self.dispatch_charge();
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::Lock, &e, proto.name());
         proto.lock(self, &e);
+        self.hook_exit(st0, Hook::Lock, &e, proto.name());
     }
 
     /// `Ace_UnLock`.
@@ -680,7 +924,9 @@ impl<'n> AceRt<'n> {
         let e = self.ensure_entry(r);
         self.dispatch_charge();
         let proto = self.space(e.space).proto();
+        let st0 = self.hook_enter(Hook::Unlock, &e, proto.name());
         proto.unlock(self, &e);
+        self.hook_exit(st0, Hook::Unlock, &e, proto.name());
     }
 
     /// The default lock implementation: FIFO queue at the region's home.
@@ -1022,5 +1268,67 @@ mod tests {
             gone
         });
         assert_eq!(r.results, vec![true, true], "cached pointer must not outlive the table entry");
+    }
+
+    #[test]
+    fn try_entry_reports_structured_errors() {
+        let r = run_ace(1, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            let other = rt.new_space(noop());
+            let rid = rt.gmalloc::<u64>(s, 2);
+
+            let unknown = rt.try_entry(RegionId::new(0, 999)).err().unwrap();
+            let mismatch = rt.try_entry_in(rid, other).err().unwrap();
+            let ok = rt.try_entry_in(rid, s).is_ok();
+            (unknown, mismatch, ok)
+        });
+        let (unknown, mismatch, ok) = r.results[0].clone();
+        assert!(matches!(unknown, AceError::UnknownRegion { rank: 0, .. }));
+        assert!(matches!(
+            mismatch,
+            AceError::SpaceMismatch { expected: SpaceId(1), actual: SpaceId(0), .. }
+        ));
+        assert!(ok);
+    }
+
+    #[test]
+    fn try_entry_flags_use_after_unmap_remotely() {
+        let r = run_ace(2, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            let rid = if rt.rank() == 0 {
+                RegionId(rt.bcast(0, &[rt.gmalloc::<u64>(s, 1).0])[0])
+            } else {
+                RegionId(rt.bcast(0, &[])[0])
+            };
+            rt.map(rid);
+            rt.unmap(rid);
+            let got = rt.try_entry(rid);
+            rt.machine_barrier();
+            match (rt.rank(), got) {
+                // Home keeps its entry alive regardless of map count.
+                (0, Ok(_)) => true,
+                // The remote's entry survives as an unmapped cache entry,
+                // but a mapped view of it is a use-after-unmap.
+                (1, Err(AceError::UseAfterUnmap { rank: 1, .. })) => true,
+                _ => false,
+            }
+        });
+        assert_eq!(r.results, vec![true, true]);
+    }
+
+    #[test]
+    fn error_diagnostics_carry_last_hook() {
+        let r = run_ace(1, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            let rid = rt.gmalloc::<u64>(s, 1);
+            rt.map(rid);
+            rt.start_read(rid);
+            rt.end_read(rid);
+            let err = rt.try_entry(RegionId::new(0, 42)).err().unwrap();
+            (rt.last_hook(), err.to_string())
+        });
+        let (hook, msg) = r.results[0].clone();
+        assert_eq!(hook, "end_read");
+        assert!(msg.contains("last hook: end_read"), "{msg}");
     }
 }

@@ -31,7 +31,9 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use ace_core::msg::AceMsg;
-use ace_core::{run_spmd, AceRt, CostModel, Node, OpCounters, Pod, RegionId, SpmdResult};
+use ace_core::{
+    AceRt, CostModel, MachineBuilder, Node, OpCounters, Pod, RegionId, Spmd, SpmdResult,
+};
 use ace_protocols::SeqInvalidate;
 
 /// Default capacity of the unmapped-region cache (CRL 1.0's default).
@@ -241,7 +243,17 @@ where
     R: Send,
     F: Fn(&CrlRt) -> R + Sync,
 {
-    run_spmd(nprocs, cost, |node| {
+    run_crl_with(Spmd::builder().nprocs(nprocs).cost(cost), f)
+}
+
+/// Run an SPMD CRL program on a fully-configured [`MachineBuilder`]
+/// (tracing, watchdog, drain batch).
+pub fn run_crl_with<R, F>(builder: MachineBuilder, f: F) -> SpmdResult<R>
+where
+    R: Send,
+    F: Fn(&CrlRt) -> R + Sync,
+{
+    builder.run(|node| {
         let crl = CrlRt::new(node);
         let r = f(&crl);
         crl.inner().shutdown();
@@ -313,7 +325,7 @@ mod tests {
 
     #[test]
     fn urc_eviction_flushes_and_remaps() {
-        let r = run_spmd(2, CostModel::free(), |node| {
+        let r = Spmd::builder().nprocs(2).cost(CostModel::free()).run(|node| {
             let crl = CrlRt::with_urc_capacity(node, 2);
             let ids: Vec<RegionId> = if crl.rank() == 0 {
                 let ids: Vec<u64> = (0..4).map(|_| crl.create_words(1).0).collect();
@@ -361,7 +373,7 @@ mod tests {
         // Re-mapping a URC-resident region must renew its LRU position:
         // the stale queue entry is skipped at overflow time and a fresher
         // region survives eviction in its place.
-        let r = run_spmd(2, CostModel::free(), |node| {
+        let r = Spmd::builder().nprocs(2).cost(CostModel::free()).run(|node| {
             let crl = CrlRt::with_urc_capacity(node, 2);
             let ids: Vec<RegionId> = if crl.rank() == 0 {
                 let ids: Vec<u64> = (0..3).map(|_| crl.create_words(1).0).collect();

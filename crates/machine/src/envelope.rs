@@ -8,6 +8,13 @@
 pub trait MsgSize {
     /// Payload size in bytes (excluding the fixed header).
     fn size_bytes(&self) -> usize;
+
+    /// Short stable tag naming the message's kind, used to label trace
+    /// events and aggregate per-tag byte counts. Implementations should
+    /// return one tag per logical message variant.
+    fn tag(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// Fixed per-message header charge: handler id, source, region id, opcode —

@@ -32,8 +32,16 @@ pub use cost::CostModel;
 pub use envelope::{Envelope, MsgSize};
 pub use node::Node;
 pub use pod::Pod;
-pub use spmd::{run_spmd, SpmdResult};
+#[allow(deprecated)]
+pub use spmd::run_spmd;
+pub use spmd::{MachineBuilder, Spmd, SpmdResult};
 pub use stats::{MachineStats, NodeStats};
+// Re-exported so downstream crates configure and consume tracing without
+// depending on `ace-trace` directly.
+pub use ace_trace::{
+    validate_chrome_trace, ChromeCheck, EventKind, Hook, MachineTrace, NodeTrace, TraceConfig,
+    TraceEvent, TraceSink, TraceSummary, NO_REGION,
+};
 
 /// Maximum number of simulated processors. Sharer sets in the protocol
 /// layers are 64-bit bitmasks, so the substrate enforces the same limit.

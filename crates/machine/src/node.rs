@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ace_trace::{EventKind, MachineTrace, NodeTrace, TraceConfig, TraceSink};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
 use crate::cost::CostModel;
@@ -22,6 +23,24 @@ pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 /// many messages; the burst is bounded so a flood of incoming traffic
 /// cannot starve the caller's predicate checks.
 pub const DEFAULT_DRAIN_BATCH: usize = 64;
+
+/// Construction-time per-node knobs, fixed by the machine builder.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeSetup {
+    pub watchdog: Duration,
+    pub drain_batch: usize,
+    pub trace: TraceConfig,
+}
+
+impl Default for NodeSetup {
+    fn default() -> Self {
+        NodeSetup {
+            watchdog: DEFAULT_WATCHDOG,
+            drain_batch: DEFAULT_DRAIN_BATCH,
+            trace: TraceConfig::off(),
+        }
+    }
+}
 
 /// One simulated processor.
 ///
@@ -45,8 +64,10 @@ pub struct Node<M> {
     /// identical to unbatched reception (same order, same arrival math).
     inbox: RefCell<VecDeque<Envelope<M>>>,
     drain_batch: Cell<usize>,
+    /// Structured event sink; a no-op unless the builder enabled tracing.
+    sink: TraceSink,
     /// Rank of the first peer whose thread died by panic, or -1. Shared by
-    /// every node of the machine; see [`crate::run_spmd`].
+    /// every node of the machine; see [`crate::Spmd`].
     failed: Arc<AtomicIsize>,
 }
 
@@ -58,7 +79,9 @@ impl<M: MsgSize + Send> Node<M> {
         txs: Arc<Vec<Sender<Envelope<M>>>>,
         cost: Arc<CostModel>,
         failed: Arc<AtomicIsize>,
+        setup: &NodeSetup,
     ) -> Self {
+        assert!(setup.drain_batch >= 1, "drain batch must be at least 1");
         Node {
             rank,
             nprocs,
@@ -69,9 +92,10 @@ impl<M: MsgSize + Send> Node<M> {
             msgs_sent: Cell::new(0),
             bytes_sent: Cell::new(0),
             msgs_recv: Cell::new(0),
-            watchdog: Cell::new(DEFAULT_WATCHDOG),
+            watchdog: Cell::new(setup.watchdog),
             inbox: RefCell::new(VecDeque::new()),
-            drain_batch: Cell::new(DEFAULT_DRAIN_BATCH),
+            drain_batch: Cell::new(setup.drain_batch),
+            sink: TraceSink::new(&setup.trace),
             failed,
         }
     }
@@ -101,13 +125,27 @@ impl<M: MsgSize + Send> Node<M> {
         self.clock.set(self.clock.get() + ns);
     }
 
-    /// Override the hang watchdog (tests use short values).
+    /// This node's event sink. Higher layers (the Ace runtime) stamp
+    /// their own events — hook spans, state transitions — through it;
+    /// check [`TraceSink::enabled`] before building an event.
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Drain the node's event buffer for merging, if tracing is on.
+    pub(crate) fn take_trace(&self) -> Option<NodeTrace> {
+        self.sink.enabled().then(|| self.sink.take(self.rank))
+    }
+
+    /// Override the hang watchdog.
+    #[deprecated(since = "0.2.0", note = "configure via Spmd::builder().watchdog(..)")]
     pub fn set_watchdog(&self, d: Duration) {
         self.watchdog.set(d);
     }
 
     /// Override the drain burst size (1 = unbatched reception; the batched
     /// path must be observationally identical, which tests verify).
+    #[deprecated(since = "0.2.0", note = "configure via Spmd::builder().drain_batch(..)")]
     pub fn set_drain_batch(&self, n: usize) {
         assert!(n >= 1, "drain batch must be at least 1");
         self.drain_batch.set(n);
@@ -122,6 +160,12 @@ impl<M: MsgSize + Send> Node<M> {
         let bytes = msg.size_bytes() + HEADER_BYTES;
         self.msgs_sent.set(self.msgs_sent.get() + 1);
         self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
+        if self.sink.enabled() {
+            self.sink.emit(
+                self.clock.get(),
+                EventKind::Send { dst: dst as u16, tag: msg.tag(), bytes: bytes as u32 },
+            );
+        }
         let env = Envelope { src: self.rank, send_time: self.clock.get(), bytes, msg };
         // A send can only fail if the destination thread already exited,
         // which means the SPMD program violated its quiescence contract;
@@ -185,6 +229,17 @@ impl<M: MsgSize + Send> Node<M> {
         let now = self.clock.get().max(arrival) + self.cost.recv_overhead;
         self.clock.set(now);
         self.msgs_recv.set(self.msgs_recv.get() + 1);
+        if self.sink.enabled() {
+            self.sink.emit(
+                now,
+                EventKind::Recv {
+                    src: env.src as u16,
+                    tag: env.msg.tag(),
+                    bytes: env.bytes as u32,
+                    sent_at: env.send_time,
+                },
+            );
+        }
     }
 
     /// Diagnose a dead peer and panic immediately instead of letting the
@@ -229,12 +284,27 @@ impl<M: MsgSize + Send> Node<M> {
     pub fn poll_until(
         &self,
         what: &str,
-        mut handle: impl FnMut(&Self, Envelope<M>),
+        handle: impl FnMut(&Self, Envelope<M>),
         mut pred: impl FnMut() -> bool,
     ) {
         if pred() {
             return;
         }
+        if self.sink.enabled() {
+            self.sink.emit(self.clock.get(), EventKind::Block { what: what.into() });
+        }
+        self.poll_loop(what, handle, pred);
+        if self.sink.enabled() {
+            self.sink.emit(self.clock.get(), EventKind::Unblock { what: what.into() });
+        }
+    }
+
+    fn poll_loop(
+        &self,
+        what: &str,
+        mut handle: impl FnMut(&Self, Envelope<M>),
+        mut pred: impl FnMut() -> bool,
+    ) {
         let start = Instant::now();
         loop {
             match self.try_recv() {
@@ -258,6 +328,16 @@ impl<M: MsgSize + Send> Node<M> {
                         None => {
                             self.check_peers(what);
                             if start.elapsed() > self.watchdog.get() {
+                                if self.sink.enabled() {
+                                    // Dump this node's wait-graph view before
+                                    // dying: which hook/region the stall sits
+                                    // inside, not just the caller's `what`.
+                                    let t = MachineTrace { nodes: vec![self.sink.take(self.rank)] };
+                                    let report = t.wait_graph_report();
+                                    if !report.is_empty() {
+                                        eprintln!("{report}");
+                                    }
+                                }
                                 panic!(
                                     "node {} wedged waiting for: {what} (clock {} ns)",
                                     self.rank,
@@ -285,12 +365,12 @@ impl<M: MsgSize + Send> Node<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spmd::run_spmd;
+    use crate::spmd::Spmd;
 
     #[test]
     fn clock_advances_on_send_and_recv() {
         let cost = CostModel::cm5();
-        let r = run_spmd::<u64, _, _>(2, cost.clone(), |node| {
+        let r = Spmd::builder().nprocs(2).cost(cost.clone()).run::<u64, _, _>(|node| {
             if node.rank() == 0 {
                 node.send(1, 42u64);
                 node.now()
@@ -308,7 +388,7 @@ mod tests {
 
     #[test]
     fn self_send_is_delivered() {
-        let r = run_spmd::<u64, _, _>(1, CostModel::free(), |node| {
+        let r = Spmd::builder().nprocs(1).cost(CostModel::free()).run::<u64, _, _>(|node| {
             node.send(0, 7);
             let got = Cell::new(0u64);
             node.poll_until("self message", |_, env| got.set(env.msg), || got.get() != 0);
@@ -320,15 +400,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "wedged waiting for")]
     fn watchdog_fires() {
-        run_spmd::<u64, _, _>(1, CostModel::free(), |node| {
-            node.set_watchdog(Duration::from_millis(50));
-            node.poll_until("never", |_, _| {}, || false);
-        });
+        Spmd::builder()
+            .nprocs(1)
+            .cost(CostModel::free())
+            .watchdog(Duration::from_millis(50))
+            .run::<u64, _, _>(|node| {
+                node.poll_until("never", |_, _| {}, || false);
+            });
     }
 
     #[test]
     fn stats_count_messages() {
-        let r = run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
+        let r = Spmd::builder().nprocs(2).cost(CostModel::free()).run::<u64, _, _>(|node| {
             if node.rank() == 0 {
                 for i in 0..5 {
                     node.send(1, i + 1);
@@ -345,7 +428,7 @@ mod tests {
 
     #[test]
     fn fifo_between_pair() {
-        let r = run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
+        let r = Spmd::builder().nprocs(2).cost(CostModel::free()).run::<u64, _, _>(|node| {
             if node.rank() == 0 {
                 for i in 0..100 {
                     node.send(1, i);
@@ -368,23 +451,24 @@ mod tests {
     fn fifo_between_pair_unbatched() {
         // Same as above with the burst disabled: the drain path must be
         // observationally identical at batch size 1.
-        let r = run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
-            node.set_drain_batch(1);
-            if node.rank() == 0 {
-                for i in 0..100 {
-                    node.send(1, i);
+        let r = Spmd::builder().nprocs(2).cost(CostModel::free()).drain_batch(1).run::<u64, _, _>(
+            |node| {
+                if node.rank() == 0 {
+                    for i in 0..100 {
+                        node.send(1, i);
+                    }
+                    Vec::new()
+                } else {
+                    let seen = RefCell::new(Vec::new());
+                    node.poll_until(
+                        "100 msgs",
+                        |_, env| seen.borrow_mut().push(env.msg),
+                        || seen.borrow().len() == 100,
+                    );
+                    seen.into_inner()
                 }
-                Vec::new()
-            } else {
-                let seen = RefCell::new(Vec::new());
-                node.poll_until(
-                    "100 msgs",
-                    |_, env| seen.borrow_mut().push(env.msg),
-                    || seen.borrow().len() == 100,
-                );
-                seen.into_inner()
-            }
-        });
+            },
+        );
         assert_eq!(r.results[1], (0..100).collect::<Vec<_>>());
     }
 
@@ -396,7 +480,7 @@ mod tests {
         // one receive even though the whole burst is already local.
         let cost = CostModel::cm5();
         let recv_overhead = cost.recv_overhead;
-        let r = run_spmd::<u64, _, _>(2, cost, |node| {
+        let r = Spmd::builder().nprocs(2).cost(cost).run::<u64, _, _>(|node| {
             if node.rank() == 0 {
                 for i in 0..10 {
                     node.send(1, i + 1);

@@ -1,14 +1,20 @@
 //! SPMD launcher: run one closure on every simulated processor.
+//!
+//! Machines are configured through [`Spmd::builder`], which gathers every
+//! knob — processor count, cost model, watchdog, drain batch, tracing —
+//! into a [`MachineBuilder`] instead of the former scattered per-node
+//! mutators.
 
 use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ace_trace::{MachineTrace, NodeTrace, TraceConfig};
 use crossbeam::channel::unbounded;
 
 use crate::cost::CostModel;
 use crate::envelope::MsgSize;
-use crate::node::Node;
+use crate::node::{Node, NodeSetup, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG};
 use crate::stats::{MachineStats, NodeStats};
 use crate::MAX_NODES;
 
@@ -23,6 +29,183 @@ pub struct SpmdResult<R> {
     pub sim_ns: u64,
     /// Real elapsed time of the whole run.
     pub wall: Duration,
+    /// The merged event trace, when the builder enabled tracing.
+    pub trace: Option<MachineTrace>,
+}
+
+/// The simulated machine. Entry point for configuring and launching runs:
+/// `Spmd::builder().nprocs(8).cost(CostModel::cm5()).run(f)`.
+pub struct Spmd;
+
+impl Spmd {
+    /// Start configuring a machine. Defaults: 1 processor, CM-5 cost
+    /// model, tracing off, default watchdog and drain batch.
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::new()
+    }
+}
+
+/// Configuration for a simulated machine, built via [`Spmd::builder`].
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    nprocs: usize,
+    cost: CostModel,
+    trace: TraceConfig,
+    watchdog: Duration,
+    drain_batch: usize,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MachineBuilder {
+    /// A builder with the defaults described on [`Spmd::builder`].
+    pub fn new() -> Self {
+        MachineBuilder {
+            nprocs: 1,
+            cost: CostModel::cm5(),
+            trace: TraceConfig::off(),
+            watchdog: DEFAULT_WATCHDOG,
+            drain_batch: DEFAULT_DRAIN_BATCH,
+        }
+    }
+
+    /// Number of simulated processors (1..=[`MAX_NODES`]).
+    pub fn nprocs(mut self, n: usize) -> Self {
+        self.nprocs = n;
+        self
+    }
+
+    /// The cost model charging virtual time for computation and messages.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Event-tracing configuration (off by default; see `ace_trace`).
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = cfg;
+        self
+    }
+
+    /// How long a blocked node waits before panicking as wedged.
+    pub fn watchdog(mut self, d: Duration) -> Self {
+        self.watchdog = d;
+        self
+    }
+
+    /// Channel drain burst size (1 = unbatched reception).
+    pub fn drain_batch(mut self, n: usize) -> Self {
+        assert!(n >= 1, "drain batch must be at least 1");
+        self.drain_batch = n;
+        self
+    }
+
+    /// Launch `nprocs` simulated processors, each running `f` with its own
+    /// [`Node`], in the single-program-multiple-data style of the paper
+    /// ("a single user thread per processor (SPMD)", §3.1).
+    ///
+    /// The closure must uphold the quiescence contract: when it returns on
+    /// one node, no other node may still require service from it. The
+    /// runtimes enforce this by ending every program with a machine-wide
+    /// barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero or exceeds [`MAX_NODES`], or if any
+    /// node's closure panics. When several nodes die (one crashes and its
+    /// blocked peers then fail with "peer exited"), the panic propagated is
+    /// the *first* thread that died — the root cause, not a symptom.
+    pub fn run<M, R, F>(&self, f: F) -> SpmdResult<R>
+    where
+        M: MsgSize + Send,
+        R: Send,
+        F: Fn(&Node<M>) -> R + Sync,
+    {
+        let nprocs = self.nprocs;
+        assert!(nprocs >= 1, "need at least one node");
+        assert!(nprocs <= MAX_NODES, "at most {MAX_NODES} nodes supported");
+
+        let cost = Arc::new(self.cost.clone());
+        let setup = NodeSetup {
+            watchdog: self.watchdog,
+            drain_batch: self.drain_batch,
+            trace: self.trace.clone(),
+        };
+        let mut txs = Vec::with_capacity(nprocs);
+        let mut rxs = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs = Arc::new(txs);
+        let failed = Arc::new(AtomicIsize::new(-1));
+
+        let start = Instant::now();
+        type Outcome<R> = (R, NodeStats, Option<NodeTrace>);
+        let mut outcomes: Vec<Option<Outcome<R>>> = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            outcomes.push(None);
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nprocs);
+            for (rank, rx) in rxs.into_iter().enumerate() {
+                let txs = Arc::clone(&txs);
+                let cost = Arc::clone(&cost);
+                let failed = Arc::clone(&failed);
+                let setup = &setup;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let _guard = FailGuard { rank, failed: Arc::clone(&failed) };
+                    let node = Node::new(rank, nprocs, rx, txs, cost, failed, setup);
+                    let r = f(&node);
+                    let stats = node.stats();
+                    (r, stats, node.take_trace())
+                }));
+            }
+            let mut failures: Vec<(usize, String)> = Vec::new();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(out) => outcomes[rank] = Some(out),
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(|s| s.as_str())
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        failures.push((rank, msg.to_string()));
+                    }
+                }
+            }
+            if !failures.is_empty() {
+                let culprit = failed.load(Ordering::SeqCst);
+                let (rank, msg) =
+                    failures.iter().find(|(r, _)| *r as isize == culprit).unwrap_or(&failures[0]);
+                panic!("node {rank} panicked: {msg}");
+            }
+        });
+
+        let wall = start.elapsed();
+        let mut results = Vec::with_capacity(nprocs);
+        let mut stats = MachineStats::default();
+        let mut node_traces = Vec::new();
+        for out in outcomes {
+            let (r, s, t) = out.expect("node produced no result");
+            results.push(r);
+            stats.nodes.push(s);
+            if let Some(t) = t {
+                node_traces.push(t);
+            }
+        }
+        let trace = self.trace.enabled.then_some(MachineTrace { nodes: node_traces });
+        let sim_ns = stats.sim_time();
+        SpmdResult { results, stats, sim_ns, wall, trace }
+    }
 }
 
 /// Records the first rank whose thread dies by panic into the machine-wide
@@ -47,108 +230,35 @@ impl Drop for FailGuard {
     }
 }
 
-/// Launch `nprocs` simulated processors, each running `f` with its own
-/// [`Node`], in the single-program-multiple-data style of the paper
-/// ("a single user thread per processor (SPMD)", §3.1).
-///
-/// The closure must uphold the quiescence contract: when it returns on one
-/// node, no other node may still require service from it. The runtimes
-/// enforce this by ending every program with a machine-wide barrier.
-///
-/// # Panics
-///
-/// Panics if `nprocs` is zero or exceeds [`MAX_NODES`], or if any node's
-/// closure panics. When several nodes die (one crashes and its blocked
-/// peers then fail with "peer exited"), the panic propagated is the
-/// *first* thread that died — the root cause, not a symptom.
+/// Launch `nprocs` simulated processors with the default watchdog, drain
+/// batch, and no tracing.
+#[deprecated(since = "0.2.0", note = "use Spmd::builder().nprocs(n).cost(c).run(f)")]
 pub fn run_spmd<M, R, F>(nprocs: usize, cost: CostModel, f: F) -> SpmdResult<R>
 where
     M: MsgSize + Send,
     R: Send,
     F: Fn(&Node<M>) -> R + Sync,
 {
-    assert!(nprocs >= 1, "need at least one node");
-    assert!(nprocs <= MAX_NODES, "at most {MAX_NODES} nodes supported");
-
-    let cost = Arc::new(cost);
-    let mut txs = Vec::with_capacity(nprocs);
-    let mut rxs = Vec::with_capacity(nprocs);
-    for _ in 0..nprocs {
-        let (tx, rx) = unbounded();
-        txs.push(tx);
-        rxs.push(rx);
-    }
-    let txs = Arc::new(txs);
-    let failed = Arc::new(AtomicIsize::new(-1));
-
-    let start = Instant::now();
-    let mut outcomes: Vec<Option<(R, NodeStats)>> = Vec::with_capacity(nprocs);
-    for _ in 0..nprocs {
-        outcomes.push(None);
-    }
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(nprocs);
-        for (rank, rx) in rxs.into_iter().enumerate() {
-            let txs = Arc::clone(&txs);
-            let cost = Arc::clone(&cost);
-            let failed = Arc::clone(&failed);
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let _guard = FailGuard { rank, failed: Arc::clone(&failed) };
-                let node = Node::new(rank, nprocs, rx, txs, cost, failed);
-                let r = f(&node);
-                (r, node.stats())
-            }));
-        }
-        let mut failures: Vec<(usize, String)> = Vec::new();
-        for (rank, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(out) => outcomes[rank] = Some(out),
-                Err(e) => {
-                    let msg = e
-                        .downcast_ref::<String>()
-                        .map(|s| s.as_str())
-                        .or_else(|| e.downcast_ref::<&str>().copied())
-                        .unwrap_or("<non-string panic>");
-                    failures.push((rank, msg.to_string()));
-                }
-            }
-        }
-        if !failures.is_empty() {
-            let culprit = failed.load(Ordering::SeqCst);
-            let (rank, msg) =
-                failures.iter().find(|(r, _)| *r as isize == culprit).unwrap_or(&failures[0]);
-            panic!("node {rank} panicked: {msg}");
-        }
-    });
-
-    let wall = start.elapsed();
-    let mut results = Vec::with_capacity(nprocs);
-    let mut stats = MachineStats::default();
-    for out in outcomes {
-        let (r, s) = out.expect("node produced no result");
-        results.push(r);
-        stats.nodes.push(s);
-    }
-    let sim_ns = stats.sim_time();
-    SpmdResult { results, stats, sim_ns, wall }
+    Spmd::builder().nprocs(nprocs).cost(cost).run(f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ace_trace::EventKind;
 
     #[test]
     fn every_rank_runs_once() {
-        let r = run_spmd::<(), _, _>(8, CostModel::free(), |node| node.rank());
+        let r =
+            Spmd::builder().nprocs(8).cost(CostModel::free()).run::<(), _, _>(|node| node.rank());
         assert_eq!(r.results, (0..8).collect::<Vec<_>>());
         assert_eq!(r.stats.nodes.len(), 8);
+        assert!(r.trace.is_none(), "tracing is off by default");
     }
 
     #[test]
     fn sim_time_is_max_clock() {
-        let r = run_spmd::<(), _, _>(4, CostModel::free(), |node| {
+        let r = Spmd::builder().nprocs(4).cost(CostModel::free()).run::<(), _, _>(|node| {
             node.charge(node.rank() as u64 * 1000);
         });
         assert_eq!(r.sim_ns, 3000);
@@ -157,13 +267,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most")]
     fn too_many_nodes_rejected() {
-        run_spmd::<(), _, _>(MAX_NODES + 1, CostModel::free(), |_| {});
+        Spmd::builder().nprocs(MAX_NODES + 1).cost(CostModel::free()).run::<(), _, _>(|_| {});
     }
 
     #[test]
     #[should_panic(expected = "node 2 panicked: boom")]
     fn panics_propagate_with_rank() {
-        run_spmd::<(), _, _>(4, CostModel::free(), |node| {
+        Spmd::builder().nprocs(4).cost(CostModel::free()).run::<(), _, _>(|node| {
             if node.rank() == 2 {
                 panic!("boom");
             }
@@ -178,7 +288,7 @@ mod tests {
         // propagated panic must name the crashing node, not the waiter.
         let start = Instant::now();
         let r = std::panic::catch_unwind(|| {
-            run_spmd::<u64, _, _>(2, CostModel::free(), |node| {
+            Spmd::builder().nprocs(2).cost(CostModel::free()).run::<u64, _, _>(|node| {
                 if node.rank() == 1 {
                     panic!("boom");
                 }
@@ -198,7 +308,7 @@ mod tests {
     fn all_to_all_ring() {
         // Every node sends its rank to every other node and sums receipts.
         let n = 6usize;
-        let r = run_spmd::<u64, _, _>(n, CostModel::cm5(), |node| {
+        let r = Spmd::builder().nprocs(n).cost(CostModel::cm5()).run::<u64, _, _>(|node| {
             for dst in 0..n {
                 if dst != node.rank() {
                     node.send(dst, node.rank() as u64 + 1);
@@ -219,5 +329,42 @@ mod tests {
         for (rank, got) in r.results.iter().enumerate() {
             assert_eq!(*got, total - (rank as u64 + 1));
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_spmd_still_works() {
+        let r = run_spmd::<(), _, _>(2, CostModel::free(), |node| node.rank());
+        assert_eq!(r.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn traced_run_records_message_events() {
+        let cost = CostModel::cm5();
+        let r = Spmd::builder().nprocs(2).cost(cost).trace(TraceConfig::on()).run::<u64, _, _>(
+            |node| {
+                if node.rank() == 0 {
+                    node.send(1, 42u64);
+                } else {
+                    let got = std::cell::Cell::new(0u64);
+                    node.poll_until("payload", |_, env| got.set(env.msg), || got.get() != 0);
+                }
+            },
+        );
+        let trace = r.trace.expect("tracing was enabled");
+        assert_eq!(trace.nodes.len(), 2);
+        assert_eq!(trace.send_count(), r.stats.total_msgs());
+        let n1 = &trace.nodes[1];
+        assert!(n1.events.iter().any(|e| matches!(e.kind, EventKind::Recv { src: 0, .. })));
+        assert!(n1.events.iter().any(|e| matches!(e.kind, EventKind::Block { .. })));
+        assert!(n1.events.iter().any(|e| matches!(e.kind, EventKind::Unblock { .. })));
+        // Per-node virtual-time monotonicity (clocks never run backwards).
+        for n in &trace.nodes {
+            assert!(n.events.windows(2).all(|w| w[0].t <= w[1].t));
+        }
+        // The export round-trips through the validator.
+        let check = ace_trace::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
+        assert_eq!(check.flow_starts, r.stats.total_msgs());
+        assert_eq!(check.flows_matched, r.stats.total_msgs());
     }
 }

@@ -6,7 +6,7 @@
 
 use std::cell::{Cell, RefCell};
 
-use ace_machine::{run_spmd, CostModel};
+use ace_machine::{CostModel, Spmd};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -16,29 +16,30 @@ use proptest::prelude::*;
 /// virtual clock right after it is absorbed — is fully deterministic, so
 /// two runs that differ only in drain batch size must agree exactly.
 fn run_scenario(batch: usize, sends: &[(u64, u64)], recv_charges: &[u64]) -> Vec<(u64, u64)> {
-    let r = run_spmd::<u64, _, _>(2, CostModel::cm5(), |node| {
-        node.set_drain_batch(batch);
-        if node.rank() == 0 {
-            for &(m, charge) in sends {
-                node.charge(charge);
-                node.send(1, m);
+    let r = Spmd::builder().nprocs(2).cost(CostModel::cm5()).drain_batch(batch).run::<u64, _, _>(
+        |node| {
+            if node.rank() == 0 {
+                for &(m, charge) in sends {
+                    node.charge(charge);
+                    node.send(1, m);
+                }
+                Vec::new()
+            } else {
+                let seen = RefCell::new(Vec::new());
+                let i = Cell::new(0usize);
+                node.poll_until(
+                    "scenario messages",
+                    |n, env| {
+                        n.charge(recv_charges[i.get() % recv_charges.len()]);
+                        i.set(i.get() + 1);
+                        seen.borrow_mut().push((env.msg, n.now()));
+                    },
+                    || seen.borrow().len() == sends.len(),
+                );
+                seen.into_inner()
             }
-            Vec::new()
-        } else {
-            let seen = RefCell::new(Vec::new());
-            let i = Cell::new(0usize);
-            node.poll_until(
-                "scenario messages",
-                |n, env| {
-                    n.charge(recv_charges[i.get() % recv_charges.len()]);
-                    i.set(i.get() + 1);
-                    seen.borrow_mut().push((env.msg, n.now()));
-                },
-                || seen.borrow().len() == sends.len(),
-            );
-            seen.into_inner()
-        }
-    });
+        },
+    );
     let mut out = r.results;
     out.swap_remove(1)
 }
@@ -65,7 +66,7 @@ fn per_pair_fifo_holds_under_batching() {
     // even when the drain pulls many messages per burst.
     const N: usize = 4;
     const PER: u64 = 300;
-    let r = run_spmd::<u64, _, _>(N, CostModel::free(), |node| {
+    let r = Spmd::builder().nprocs(N).cost(CostModel::free()).run::<u64, _, _>(|node| {
         if node.rank() == 0 {
             let seqs = RefCell::new(vec![Vec::new(); N]);
             node.poll_until(

@@ -22,6 +22,15 @@ pub mod op {
     pub const FADD: u16 = 1;
     /// Home → remote: the pre-add value.
     pub const VALUE: u16 = 2;
+
+    /// Trace label for an opcode.
+    pub fn name(op: u16) -> &'static str {
+        match op {
+            FADD => "fadd",
+            VALUE => "value",
+            _ => "op",
+        }
+    }
 }
 
 const VALUE_WAIT: u64 = 1 << 9;
@@ -52,6 +61,10 @@ impl FetchAddCounter {
 impl Protocol for FetchAddCounter {
     fn name(&self) -> &'static str {
         "FetchAdd"
+    }
+
+    fn op_name(&self, op: u16) -> &'static str {
+        op::name(op)
     }
 
     fn optimizable(&self) -> bool {

@@ -39,6 +39,21 @@ pub mod op {
     pub const LEAVE: u16 = 7;
     /// Home → remote: leave acknowledged.
     pub const LEAVE_ACK: u16 = 8;
+
+    /// Trace label for an opcode.
+    pub fn name(op: u16) -> &'static str {
+        match op {
+            JOIN => "join",
+            DATA => "data",
+            UPD_HOME => "upd_home",
+            UPD => "upd",
+            UPD_ACK => "upd_ack",
+            ROUND_DONE => "round_done",
+            LEAVE => "leave",
+            LEAVE_ACK => "leave_ack",
+            _ => "op",
+        }
+    }
 }
 
 /// Aux bits (remote side).
@@ -98,6 +113,10 @@ impl DynamicUpdate {
 impl Protocol for DynamicUpdate {
     fn name(&self) -> &'static str {
         "Update"
+    }
+
+    fn op_name(&self, op: u16) -> &'static str {
+        op::name(op)
     }
 
     fn optimizable(&self) -> bool {

@@ -20,6 +20,15 @@ pub mod op {
     pub const FETCH: u16 = 1;
     /// Home → remote: copy contents.
     pub const DATA: u16 = 2;
+
+    /// Trace label for an opcode.
+    pub fn name(op: u16) -> &'static str {
+        match op {
+            FETCH => "fetch",
+            DATA => "data",
+            _ => "op",
+        }
+    }
 }
 
 /// The home-owned protocol.
@@ -36,6 +45,10 @@ impl HomeOwned {
 impl Protocol for HomeOwned {
     fn name(&self) -> &'static str {
         "HomeOwned"
+    }
+
+    fn op_name(&self, op: u16) -> &'static str {
+        op::name(op)
     }
 
     fn optimizable(&self) -> bool {

@@ -31,6 +31,19 @@ pub mod op {
     pub const FLUSH_X: u16 = 5;
     /// Home → remote: flush acknowledged.
     pub const FLUSH_ACK: u16 = 6;
+
+    /// Trace label for an opcode.
+    pub fn name(op: u16) -> &'static str {
+        match op {
+            MREQ => "mreq",
+            MDATA => "mdata",
+            RECALL => "recall",
+            WB => "wb",
+            FLUSH_X => "flush_x",
+            FLUSH_ACK => "flush_ack",
+            _ => "op",
+        }
+    }
 }
 
 const RECALL_PENDING: u64 = 1 << 2;
@@ -86,6 +99,10 @@ impl Migratory {
 impl Protocol for Migratory {
     fn name(&self) -> &'static str {
         "Migratory"
+    }
+
+    fn op_name(&self, op: u16) -> &'static str {
+        op::name(op)
     }
 
     fn optimizable(&self) -> bool {

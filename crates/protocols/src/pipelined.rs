@@ -34,6 +34,17 @@ pub mod op {
     pub const DELTA: u16 = 3;
     /// Home → writer: delta applied.
     pub const DELTA_ACK: u16 = 4;
+
+    /// Trace label for an opcode.
+    pub fn name(op: u16) -> &'static str {
+        match op {
+            FETCH => "fetch",
+            DATA => "data",
+            DELTA => "delta",
+            DELTA_ACK => "delta_ack",
+            _ => "op",
+        }
+    }
 }
 
 /// The pipelined delta-write protocol.
@@ -63,6 +74,10 @@ impl PipelinedWrite {
 impl Protocol for PipelinedWrite {
     fn name(&self) -> &'static str {
         "Pipelined"
+    }
+
+    fn op_name(&self, op: u16) -> &'static str {
+        op::name(op)
     }
 
     fn optimizable(&self) -> bool {

@@ -43,6 +43,24 @@ pub mod op {
     pub const FLUSH_X: u16 = 10;
     /// Home → remote: flush acknowledged.
     pub const FLUSH_ACK: u16 = 11;
+
+    /// Trace label for an opcode.
+    pub fn name(op: u16) -> &'static str {
+        match op {
+            RREQ => "rreq",
+            WREQ => "wreq",
+            DATA_S => "data_s",
+            DATA_X => "data_x",
+            INV => "inv",
+            INV_ACK => "inv_ack",
+            RECALL => "recall",
+            WB_DATA => "wb_data",
+            FLUSH_S => "flush_s",
+            FLUSH_X => "flush_x",
+            FLUSH_ACK => "flush_ack",
+            _ => "op",
+        }
+    }
 }
 
 /// The sequentially-consistent invalidation protocol.
@@ -139,6 +157,10 @@ impl SeqInvalidate {
 impl Protocol for SeqInvalidate {
     fn name(&self) -> &'static str {
         "SC"
+    }
+
+    fn op_name(&self, op: u16) -> &'static str {
+        op::name(op)
     }
 
     // Sequential consistency forbids reordering protocol calls (§4.2).

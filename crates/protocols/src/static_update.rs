@@ -29,6 +29,19 @@ pub mod op {
     pub const UNSUB: u16 = 5;
     /// Home → remote: unsubscribe acknowledged.
     pub const UNSUB_ACK: u16 = 6;
+
+    /// Trace label for an opcode.
+    pub fn name(op: u16) -> &'static str {
+        match op {
+            SUBSCRIBE => "subscribe",
+            DATA => "data",
+            PUSH => "push",
+            PUSH_ACK => "push_ack",
+            UNSUB => "unsub",
+            UNSUB_ACK => "unsub_ack",
+            _ => "op",
+        }
+    }
 }
 
 const SUBSCRIBED: u64 = 1 << 4;
@@ -56,6 +69,10 @@ impl StaticUpdate {
 impl Protocol for StaticUpdate {
     fn name(&self) -> &'static str {
         "StaticUpdate"
+    }
+
+    fn op_name(&self, op: u16) -> &'static str {
+        op::name(op)
     }
 
     fn optimizable(&self) -> bool {
@@ -198,7 +215,7 @@ impl Protocol for StaticUpdate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_core::{run_ace, CostModel, RegionId, SpaceId};
+    use ace_core::{run_ace, run_ace_with, CostModel, RegionId, SpaceId, Spmd};
     use std::rc::Rc;
 
     fn setup(rt: &AceRt, words: usize) -> (SpaceId, RegionId) {
@@ -275,10 +292,13 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "written only at home")]
     fn remote_write_asserts() {
-        run_ace(2, CostModel::free(), |rt| {
-            // Node 0 will die on the assert, so keep the survivor's hang
-            // watchdog short: the panic propagates in rank order.
-            rt.node().set_watchdog(std::time::Duration::from_millis(300));
+        // Node 0 will die on the assert, so keep the survivor's hang
+        // watchdog short: the panic propagates in rank order.
+        let builder = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::free())
+            .watchdog(std::time::Duration::from_millis(300));
+        run_ace_with(builder, |rt| {
             let s = rt.new_space(Rc::new(StaticUpdate));
             let rid = if rt.rank() == 1 {
                 RegionId(rt.bcast(1, &[rt.gmalloc_words(s, 1).0])[0])

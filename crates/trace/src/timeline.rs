@@ -1,0 +1,345 @@
+//! Merging per-node event buffers into one machine-wide timeline, plus
+//! the derived views: summary tables and the wait graph.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{EventKind, Hook, TraceEvent, NO_REGION};
+
+/// One node's drained event buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrace {
+    /// The emitting node's rank.
+    pub rank: usize,
+    /// Events lost to ring overflow on this node.
+    pub dropped: u64,
+    /// The surviving events, in emission order (virtual-time monotone:
+    /// a node's clock never goes backwards).
+    pub events: Vec<TraceEvent>,
+}
+
+/// The merged trace of a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct MachineTrace {
+    /// Per-node buffers, indexed by rank.
+    pub nodes: Vec<NodeTrace>,
+}
+
+/// A node still blocked when its trace ended, and what it was stuck on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedWait {
+    /// The stuck node.
+    pub rank: usize,
+    /// The wait description passed to the poll loop.
+    pub what: String,
+    /// Virtual time at which the wait began.
+    pub since: u64,
+    /// The innermost hook still open around the wait, if any.
+    pub hook: Option<&'static str>,
+    /// The region that hook targeted, if any.
+    pub region: Option<u64>,
+    /// The protocol that hook dispatched to, if any.
+    pub proto: Option<&'static str>,
+}
+
+/// Per-(protocol, hook) aggregate in a [`TraceSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HookRow {
+    /// Protocol name the hook dispatched to.
+    pub proto: &'static str,
+    /// Hook label (the opcode name for `handle` spans).
+    pub hook: &'static str,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total virtual time inside the span (inclusive of nesting), ns.
+    pub time_ns: u64,
+}
+
+/// Per-message-tag aggregate in a [`TraceSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagRow {
+    /// The message tag.
+    pub tag: &'static str,
+    /// Messages sent with this tag.
+    pub msgs: u64,
+    /// Wire bytes (payload + header) sent with this tag.
+    pub bytes: u64,
+}
+
+/// Aggregates derived from a merged trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Hook spans by (protocol, hook label), sorted by descending time.
+    pub hooks: Vec<HookRow>,
+    /// Sent messages by tag, sorted by descending bytes.
+    pub tags: Vec<TagRow>,
+    /// Total events across all nodes.
+    pub events: u64,
+    /// Total events dropped to ring overflow.
+    pub dropped: u64,
+}
+
+impl MachineTrace {
+    /// Total events across all nodes.
+    pub fn event_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.events.len()).sum()
+    }
+
+    /// Total `Send` events across all nodes (equals the machine's
+    /// messages-sent counter when no ring overflowed).
+    pub fn send_count(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.events)
+            .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+            .count() as u64
+    }
+
+    /// The machine-wide timeline: every event paired with its rank,
+    /// ordered by virtual time. The merge is stable per node (a node's
+    /// own order is preserved) and breaks cross-node ties by rank — the
+    /// only sound rule, since equal virtual stamps on different nodes
+    /// are causally unordered.
+    pub fn merged(&self) -> Vec<(usize, &TraceEvent)> {
+        let mut all: Vec<(usize, usize, &TraceEvent)> = Vec::with_capacity(self.event_count());
+        for n in &self.nodes {
+            all.extend(n.events.iter().enumerate().map(|(i, e)| (n.rank, i, e)));
+        }
+        all.sort_by_key(|(rank, i, e)| (e.t, *rank, *i));
+        all.into_iter().map(|(rank, _, e)| (rank, e)).collect()
+    }
+
+    /// Reduce the trace to per-protocol hook and per-tag message tables.
+    pub fn summary(&self) -> TraceSummary {
+        let mut hooks: HashMap<(&'static str, &'static str), (u64, u64)> = HashMap::new();
+        let mut tags: HashMap<&'static str, (u64, u64)> = HashMap::new();
+        let mut dropped = 0;
+        for n in &self.nodes {
+            dropped += n.dropped;
+            // Open spans per node: (hook, proto, label, enter time).
+            let mut open: Vec<(Hook, &'static str, &'static str, u64)> = Vec::new();
+            for e in &n.events {
+                match &e.kind {
+                    EventKind::Send { tag, bytes, .. } => {
+                        let row = tags.entry(tag).or_insert((0, 0));
+                        row.0 += 1;
+                        row.1 += *bytes as u64;
+                    }
+                    EventKind::HookEnter { hook, proto, detail, .. } => {
+                        let label = if detail.is_empty() { hook.name() } else { *detail };
+                        open.push((*hook, proto, label, e.t));
+                    }
+                    EventKind::HookExit { hook, .. } => {
+                        // Ring overflow can orphan an exit; skip unmatched.
+                        if let Some(pos) = open.iter().rposition(|(h, ..)| h == hook) {
+                            let (_, proto, label, t0) = open.remove(pos);
+                            let row = hooks.entry((proto, label)).or_insert((0, 0));
+                            row.0 += 1;
+                            row.1 += e.t.saturating_sub(t0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut hooks: Vec<HookRow> = hooks
+            .into_iter()
+            .map(|((proto, hook), (count, time_ns))| HookRow { proto, hook, count, time_ns })
+            .collect();
+        hooks.sort_by(|a, b| b.time_ns.cmp(&a.time_ns).then(a.hook.cmp(b.hook)));
+        let mut tags: Vec<TagRow> =
+            tags.into_iter().map(|(tag, (msgs, bytes))| TagRow { tag, msgs, bytes }).collect();
+        tags.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.tag.cmp(b.tag)));
+        TraceSummary { hooks, tags, events: self.event_count() as u64, dropped }
+    }
+
+    /// Nodes whose trace ends inside a poll loop, with the hook and
+    /// region they were stuck on — the wait-graph view that turns a
+    /// wedged or crashed run into a diagnosis.
+    pub fn wait_graph(&self) -> Vec<BlockedWait> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            let mut blocks: Vec<(&str, u64)> = Vec::new();
+            let mut hooks: Vec<(&'static str, u64, &'static str)> = Vec::new();
+            for e in &n.events {
+                match &e.kind {
+                    EventKind::Block { what } => blocks.push((what, e.t)),
+                    EventKind::Unblock { what } => {
+                        if let Some(pos) = blocks.iter().rposition(|(w, _)| *w == &**what) {
+                            blocks.remove(pos);
+                        }
+                    }
+                    EventKind::HookEnter { hook, region, proto, .. } => {
+                        hooks.push((hook.name(), *region, proto));
+                    }
+                    EventKind::HookExit { .. } => {
+                        hooks.pop();
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((what, since)) = blocks.last() {
+                let inner = hooks.last();
+                out.push(BlockedWait {
+                    rank: n.rank,
+                    what: what.to_string(),
+                    since: *since,
+                    hook: inner.map(|(h, _, _)| *h),
+                    region: inner.and_then(|(_, r, _)| (*r != NO_REGION).then_some(*r)),
+                    proto: inner.map(|(_, _, p)| *p),
+                });
+            }
+        }
+        out
+    }
+
+    /// Human-readable wait-graph dump (empty string when nothing is
+    /// blocked at trace end).
+    pub fn wait_graph_report(&self) -> String {
+        let blocked = self.wait_graph();
+        if blocked.is_empty() {
+            return String::new();
+        }
+        let mut s = String::from("blocked at end of trace:\n");
+        for b in &blocked {
+            let _ = write!(s, "  node {:<3} waiting for: {} (since {} ns", b.rank, b.what, b.since);
+            if let Some(h) = b.hook {
+                let _ = write!(s, ", inside {}", h);
+                if let Some(p) = b.proto {
+                    let _ = write!(s, " of protocol {p}");
+                }
+                if let Some(r) = b.region {
+                    let _ = write!(s, " on region r{}.{}", r >> 48, r & ((1 << 48) - 1));
+                }
+            }
+            s.push_str(")\n");
+        }
+        s
+    }
+}
+
+impl TraceSummary {
+    /// Render the summary as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "trace: {} events ({} dropped)", self.events, self.dropped);
+        if !self.hooks.is_empty() {
+            let _ =
+                writeln!(s, "{:<16} {:<14} {:>10} {:>14}", "protocol", "hook", "count", "time(ns)");
+            for r in &self.hooks {
+                let _ =
+                    writeln!(s, "{:<16} {:<14} {:>10} {:>14}", r.proto, r.hook, r.count, r.time_ns);
+            }
+        }
+        if !self.tags.is_empty() {
+            let _ = writeln!(s, "{:<16} {:>10} {:>14}", "message tag", "msgs", "bytes");
+            for r in &self.tags {
+                let _ = writeln!(s, "{:<16} {:>10} {:>14}", r.tag, r.msgs, r.bytes);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind as K;
+
+    fn ev(t: u64, kind: K) -> TraceEvent {
+        TraceEvent { t, kind }
+    }
+
+    fn enter(hook: Hook, region: u64, proto: &'static str, detail: &'static str) -> K {
+        K::HookEnter { hook, region, space: 0, proto, detail }
+    }
+
+    fn exit(hook: Hook, region: u64, proto: &'static str, detail: &'static str) -> K {
+        K::HookExit { hook, region, space: 0, proto, detail }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_rank() {
+        let t = MachineTrace {
+            nodes: vec![
+                NodeTrace {
+                    rank: 0,
+                    dropped: 0,
+                    events: vec![ev(5, K::Block { what: "a".into() })],
+                },
+                NodeTrace {
+                    rank: 1,
+                    dropped: 0,
+                    events: vec![
+                        ev(2, K::Block { what: "b".into() }),
+                        ev(5, K::Unblock { what: "b".into() }),
+                    ],
+                },
+            ],
+        };
+        let order: Vec<(usize, u64)> = t.merged().iter().map(|(r, e)| (*r, e.t)).collect();
+        assert_eq!(order, vec![(1, 2), (0, 5), (1, 5)]);
+    }
+
+    #[test]
+    fn summary_counts_hooks_and_tags() {
+        let t = MachineTrace {
+            nodes: vec![NodeTrace {
+                rank: 0,
+                dropped: 2,
+                events: vec![
+                    ev(0, enter(Hook::StartRead, 7, "sc", "")),
+                    ev(10, K::Send { dst: 1, tag: "proto", bytes: 32 }),
+                    ev(30, exit(Hook::StartRead, 7, "sc", "")),
+                    ev(31, enter(Hook::Handle, 7, "sc", "RREQ")),
+                    ev(40, exit(Hook::Handle, 7, "sc", "RREQ")),
+                    ev(41, K::Send { dst: 1, tag: "proto", bytes: 8 }),
+                ],
+            }],
+        };
+        let s = t.summary();
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.events, 6);
+        let sr = s.hooks.iter().find(|r| r.hook == "start_read").unwrap();
+        assert_eq!((sr.count, sr.time_ns, sr.proto), (1, 30, "sc"));
+        let h = s.hooks.iter().find(|r| r.hook == "RREQ").unwrap();
+        assert_eq!((h.count, h.time_ns), (1, 9));
+        assert_eq!(s.tags, vec![TagRow { tag: "proto", msgs: 2, bytes: 40 }]);
+        assert!(s.render().contains("RREQ"));
+    }
+
+    #[test]
+    fn wait_graph_reports_open_blocks_with_context() {
+        let t = MachineTrace {
+            nodes: vec![
+                NodeTrace {
+                    rank: 0,
+                    dropped: 0,
+                    events: vec![
+                        ev(0, K::Block { what: "x".into() }),
+                        ev(9, K::Unblock { what: "x".into() }),
+                    ],
+                },
+                NodeTrace {
+                    rank: 1,
+                    dropped: 0,
+                    events: vec![
+                        ev(1, enter(Hook::StartWrite, (2u64 << 48) | 4, "mig", "")),
+                        ev(3, K::Block { what: "write grant".into() }),
+                    ],
+                },
+            ],
+        };
+        let w = t.wait_graph();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rank, 1);
+        assert_eq!(w[0].what, "write grant");
+        assert_eq!(w[0].hook, Some("start_write"));
+        assert_eq!(w[0].proto, Some("mig"));
+        assert_eq!(w[0].region, Some((2u64 << 48) | 4));
+        let report = t.wait_graph_report();
+        assert!(report.contains("node 1"), "{report}");
+        assert!(report.contains("r2.4"), "{report}");
+        assert!(report.contains("start_write"), "{report}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Golden-file test for the Chrome `trace_event` export.
+//!
+//! A hand-built two-node trace (fully deterministic — no clocks, no
+//! randomness) is exported and compared byte-for-byte against the
+//! committed golden file. Run with `UPDATE_GOLDEN=1` to regenerate after
+//! an intentional format change, and eyeball the diff: the golden file is
+//! the documented on-disk format.
+
+use std::path::PathBuf;
+
+use ace_trace::{validate_chrome_trace, EventKind, Hook, MachineTrace, NodeTrace, TraceEvent};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace.json")
+}
+
+/// Two nodes: node 0 maps a region, sends one message to node 1; node 1
+/// blocks, receives it inside a handle hook, and transitions state.
+fn sample_trace() -> MachineTrace {
+    let region = 7u64;
+    MachineTrace {
+        nodes: vec![
+            NodeTrace {
+                rank: 0,
+                dropped: 0,
+                events: vec![
+                    TraceEvent {
+                        t: 0,
+                        kind: EventKind::HookEnter {
+                            hook: Hook::Map,
+                            region,
+                            space: 0,
+                            proto: "SC",
+                            detail: "",
+                        },
+                    },
+                    TraceEvent {
+                        t: 1_500,
+                        kind: EventKind::HookExit {
+                            hook: Hook::Map,
+                            region,
+                            space: 0,
+                            proto: "SC",
+                            detail: "",
+                        },
+                    },
+                    TraceEvent {
+                        t: 2_000,
+                        kind: EventKind::Send { dst: 1, tag: "proto", bytes: 32 },
+                    },
+                ],
+            },
+            NodeTrace {
+                rank: 1,
+                dropped: 0,
+                events: vec![
+                    TraceEvent { t: 100, kind: EventKind::Block { what: "read copy".into() } },
+                    TraceEvent {
+                        t: 2_600,
+                        kind: EventKind::HookEnter {
+                            hook: Hook::Handle,
+                            region,
+                            space: 0,
+                            proto: "SC",
+                            detail: "data_s",
+                        },
+                    },
+                    TraceEvent {
+                        t: 2_600,
+                        kind: EventKind::Recv { src: 0, tag: "proto", bytes: 32, sent_at: 2_000 },
+                    },
+                    TraceEvent { t: 2_700, kind: EventKind::State { region, from: 1, to: 2 } },
+                    TraceEvent {
+                        t: 2_700,
+                        kind: EventKind::HookExit {
+                            hook: Hook::Handle,
+                            region,
+                            space: 0,
+                            proto: "SC",
+                            detail: "data_s",
+                        },
+                    },
+                    TraceEvent { t: 2_800, kind: EventKind::Unblock { what: "read copy".into() } },
+                ],
+            },
+        ],
+    }
+}
+
+#[test]
+fn chrome_export_matches_golden_file() {
+    let doc = sample_trace().to_chrome_json();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &doc).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        doc, golden,
+        "Chrome export format drifted; if intentional, rerun with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_is_schema_valid_and_monotone() {
+    // Validate the *committed* artifact, not just the in-memory export:
+    // this is what a user loads into Perfetto.
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("missing golden file; run with UPDATE_GOLDEN=1");
+    let check = validate_chrome_trace(&golden).expect("golden trace must validate");
+    assert_eq!(check.tracks, 2);
+    assert_eq!(check.flow_starts, 1);
+    assert_eq!(check.flows_matched, 1);
+    assert_eq!(check.spans_opened, check.spans_closed);
+}

@@ -4,7 +4,7 @@
 
 use ace::core::{run_ace, CostModel, RegionId};
 use ace::crl::CrlRt;
-use ace::machine::run_spmd;
+use ace::machine::Spmd;
 use ace::protocols::{make, ProtoSpec};
 
 #[test]
@@ -94,7 +94,7 @@ fn change_protocol_between_every_phase() {
 fn crl_urc_churn_with_tiny_cache() {
     // A 2-entry URC forces an eviction (with a coherence flush) on almost
     // every unmap; data must survive the churn.
-    let r = run_spmd(3, CostModel::free(), |node| {
+    let r = Spmd::builder().nprocs(3).cost(CostModel::free()).run(|node| {
         let crl = CrlRt::with_urc_capacity(node, 2);
         let ids: Vec<RegionId> = if crl.rank() == 0 {
             let ids: Vec<u64> = (0..12)
