@@ -1,0 +1,73 @@
+//! Wall-clock cost of one `start_read`/`end_read` pair on the annotation
+//! hot path, in three configurations: the fast mask (CRL-style in-state
+//! check, no hook dispatch), the forced slow path (`set_fast_paths(false)`,
+//! full protocol dispatch), and the CRL baseline's own in-state fast path.
+//! All three loops touch a home region in its quiescent state, so every
+//! access is the common case the mask exists for.
+
+use ace_core::{run_ace, CostModel, RegionId};
+use ace_crl::run_crl;
+use ace_protocols::SeqInvalidate;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+const PAIRS: usize = 20_000;
+
+fn read_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(20);
+    // Report per-pair cost: Criterion's mean for one iteration divided by
+    // PAIRS is the ns/pair headline the issue asks for.
+    g.bench_function(format!("ace_fast_read_pair_x{PAIRS}"), |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::free(), |rt| {
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                let r: RegionId = rt.gmalloc::<u64>(s, 8);
+                rt.map(r);
+                let mut acc = 0u64;
+                for _ in 0..PAIRS {
+                    rt.start_read(r);
+                    acc = acc.wrapping_add(rt.with::<u64, _>(r, |d| d[0]));
+                    rt.end_read(r);
+                }
+                acc
+            })
+        })
+    });
+    g.bench_function(format!("ace_slow_read_pair_x{PAIRS}"), |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::free(), |rt| {
+                rt.set_fast_paths(false);
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                let r: RegionId = rt.gmalloc::<u64>(s, 8);
+                rt.map(r);
+                let mut acc = 0u64;
+                for _ in 0..PAIRS {
+                    rt.start_read(r);
+                    acc = acc.wrapping_add(rt.with::<u64, _>(r, |d| d[0]));
+                    rt.end_read(r);
+                }
+                acc
+            })
+        })
+    });
+    g.bench_function(format!("crl_read_pair_x{PAIRS}"), |b| {
+        b.iter(|| {
+            run_crl(1, CostModel::free(), |crl| {
+                let r = crl.create::<u64>(8);
+                crl.map(r);
+                let mut acc = 0u64;
+                for _ in 0..PAIRS {
+                    crl.start_read(r);
+                    acc = acc.wrapping_add(crl.with::<u64, _>(r, |d| d[0]));
+                    crl.end_read(r);
+                }
+                acc
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, read_pairs);
+criterion_main!(benches);

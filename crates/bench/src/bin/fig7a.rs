@@ -1,8 +1,11 @@
 //! Figure 7a: Ace runtime system versus CRL, both under the default
 //! sequentially-consistent invalidation protocol.
 //!
-//! Usage: fig7a [--small|--paper] [--procs N] [--runs K] [--json PATH]
+//! Usage: fig7a [--small|--paper] [--procs N] [--runs K] [--json [PATH]]
 //!        [--trace PATH]  (re-runs EM3D traced and writes Chrome JSON)
+//!
+//! `--json` without a path writes `BENCH_fig7a.json` at the repo root,
+//! the canonical location CI and EXPERIMENTS.md point at.
 
 use ace_apps::Variant;
 use ace_bench::fig7::{fig7a, write_trace, Scale};
@@ -28,14 +31,14 @@ fn main() {
     }
     println!("\n(simulated time on the CM-5-flavoured cost model; >1 means Ace is faster)");
 
-    if let Some(path) = arg_str(&args, "--json") {
+    if let Some(path) = json::out_path(&args, "BENCH_fig7a.json") {
         let mut out = Vec::new();
         for r in &rows {
             out.push(JsonRow::new("fig7a", &r.app, "ace", r.ace));
             out.push(JsonRow::new("fig7a", &r.app, "crl", r.crl));
         }
-        json::write(std::path::Path::new(&path), &out).expect("write --json file");
-        println!("wrote {} rows to {path}", out.len());
+        json::write(&path, &out).expect("write --json file");
+        println!("wrote {} rows to {}", out.len(), path.display());
     }
 
     if let Some(path) = arg_str(&args, "--trace") {

@@ -1,8 +1,11 @@
 //! Figure 7b: single (SC) protocol versus application-specific protocols
 //! in Ace.
 //!
-//! Usage: fig7b [--small|--paper] [--procs N] [--runs K] [--json PATH]
+//! Usage: fig7b [--small|--paper] [--procs N] [--runs K] [--json [PATH]]
 //!        [--trace PATH]  (re-runs EM3D/custom traced and writes Chrome JSON)
+//!
+//! `--json` without a path writes `BENCH_fig7b.json` at the repo root,
+//! the canonical location CI and EXPERIMENTS.md point at.
 
 use ace_apps::Variant;
 use ace_bench::fig7::{fig7b, write_trace, Scale};
@@ -33,14 +36,14 @@ fn main() {
     println!("custom protocols: barnes=dynamic update, bsc=home-owned, em3d=static update,");
     println!("                  tsp=fetch-and-add counter, water=null+pipelined phases");
 
-    if let Some(path) = arg_str(&args, "--json") {
+    if let Some(path) = json::out_path(&args, "BENCH_fig7b.json") {
         let mut out = Vec::new();
         for r in &rows {
             out.push(JsonRow::new("fig7b", &r.app, "sc", r.sc));
             out.push(JsonRow::new("fig7b", &r.app, "custom", r.custom));
         }
-        json::write(std::path::Path::new(&path), &out).expect("write --json file");
-        println!("wrote {} rows to {path}", out.len());
+        json::write(&path, &out).expect("write --json file");
+        println!("wrote {} rows to {}", out.len(), path.display());
     }
 
     if let Some(path) = arg_str(&args, "--trace") {

@@ -157,7 +157,7 @@ pub fn write_trace(
         trace.event_count(),
         trace.send_count()
     );
-    print!("{}", trace.summary().render());
+    print!("{}", trace.summary().with_fast_hits(out.counters.fast_hits).render());
     Ok(out)
 }
 

@@ -73,6 +73,18 @@ pub fn write(path: &Path, rows: &[JsonRow]) -> std::io::Result<()> {
     std::fs::write(path, render(rows))
 }
 
+/// Resolve the `--json [PATH]` flag from a harness's argv. An explicit
+/// path wins; bare `--json` (next arg missing or another flag) falls back
+/// to `default_name` at the repo root, where CI and EXPERIMENTS.md expect
+/// the tracked `BENCH_*.json` files.
+pub fn out_path(args: &[String], default_name: &str) -> Option<std::path::PathBuf> {
+    let i = args.iter().position(|a| a == "--json")?;
+    match args.get(i + 1) {
+        Some(p) if !p.starts_with("--") => Some(std::path::PathBuf::from(p)),
+        _ => Some(Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(default_name)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

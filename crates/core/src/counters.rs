@@ -33,6 +33,10 @@ pub struct OpCounters {
     /// Calls made directly to a known protocol (compiler direct dispatch,
     /// or a fixed-protocol runtime).
     pub direct: u64,
+    /// Access annotations absorbed by the per-region fast mask: the hook
+    /// was a state-preserving no-op in the current region state, so the
+    /// runtime skipped dispatch (and span construction) entirely.
+    pub fast_hits: u64,
     /// Region lookups satisfied by the inline direct-mapped cache.
     pub region_cache_hits: u64,
     /// Region lookups that fell through to the hash table.
@@ -66,6 +70,7 @@ impl OpCounters {
         self.proto_msgs += o.proto_msgs;
         self.dispatched += o.dispatched;
         self.direct += o.direct;
+        self.fast_hits += o.fast_hits;
         self.region_cache_hits += o.region_cache_hits;
         self.region_cache_misses += o.region_cache_misses;
     }
@@ -75,6 +80,14 @@ impl OpCounters {
     pub fn region_cache_hit_rate(&self) -> Option<f64> {
         let total = self.region_cache_hits + self.region_cache_misses;
         (total > 0).then(|| self.region_cache_hits as f64 / total as f64)
+    }
+
+    /// Fraction of access annotations absorbed by the per-region fast
+    /// mask (fast hits over fast + dispatched + direct calls), or `None`
+    /// before any annotation ran.
+    pub fn fast_hit_rate(&self) -> Option<f64> {
+        let total = self.fast_hits + self.dispatched + self.direct;
+        (total > 0).then(|| self.fast_hits as f64 / total as f64)
     }
 }
 

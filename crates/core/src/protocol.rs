@@ -22,6 +22,12 @@ impl Actions {
     pub const LOCK: Actions = Actions(1 << 7);
     pub const UNLOCK: Actions = Actions(1 << 8);
 
+    /// The four access-section hooks — the candidates for the per-region
+    /// fast mask ([`crate::region::RegionEntry::fast`]).
+    pub const ACCESS: Actions = Actions(
+        Actions::START_READ.0 | Actions::END_READ.0 | Actions::START_WRITE.0 | Actions::END_WRITE.0,
+    );
+
     /// The empty set.
     pub fn empty() -> Self {
         Actions(0)
@@ -167,5 +173,16 @@ pub(crate) mod tests {
         assert!(m.contains(Actions::END_READ));
         assert!(!m.contains(Actions::START_WRITE));
         assert!(m.contains(Actions::empty()));
+    }
+
+    #[test]
+    fn access_covers_exactly_the_section_hooks() {
+        let m = Actions::ACCESS;
+        assert!(m.contains(Actions::START_READ));
+        assert!(m.contains(Actions::END_READ));
+        assert!(m.contains(Actions::START_WRITE));
+        assert!(m.contains(Actions::END_WRITE));
+        assert!(!m.contains(Actions::MAP));
+        assert!(!m.contains(Actions::LOCK));
     }
 }

@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::ids::{RegionId, SpaceId};
+use crate::protocol::Actions;
 
 /// Get a mutable view of an `Arc<[u64]>` buffer, copying first if the
 /// buffer is shared. (`Arc::make_mut` requires `Sized`, hence manual COW.)
@@ -54,6 +55,13 @@ pub struct RegionEntry {
     pub write_active: Cell<u32>,
 
     // ---- protocol-owned fields ----
+    /// Fast mask: the set of annotations that are state-preserving no-ops
+    /// in the region's *current* state, maintained by the protocol at its
+    /// state transitions (the analogue of CRL's in-cache fast path). The
+    /// runtime checks this before dispatching a hook; a set bit promises
+    /// the hook would neither send messages nor mutate any entry or space
+    /// state, so the runtime may skip it entirely. Empty = always slow.
+    pub fast: Cell<Actions>,
     /// Protocol-defined state code.
     pub st: Cell<u32>,
     /// Home-side sharer bitmask (bit *i* = node *i* holds a copy).
@@ -91,6 +99,7 @@ impl RegionEntry {
             mapped: Cell::new(0),
             read_active: Cell::new(0),
             write_active: Cell::new(0),
+            fast: Cell::new(Actions::empty()),
             st: Cell::new(0),
             sharers: Cell::new(0),
             owner: Cell::new(-1),

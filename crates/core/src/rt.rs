@@ -12,7 +12,7 @@ use crate::counters::OpCounters;
 use crate::error::AceError;
 use crate::ids::{RegionId, SpaceId};
 use crate::msg::{AceMsg, ProtoMsg};
-use crate::protocol::Protocol;
+use crate::protocol::{Actions, Protocol};
 use crate::region::RegionEntry;
 use crate::space::SpaceEntry;
 
@@ -75,6 +75,10 @@ pub struct AceRt<'n> {
     /// before the first). Tracked unconditionally (a `Cell` store) so
     /// error diagnostics carry it even when tracing is off.
     last_hook: Cell<&'static str>,
+    /// Master switch for the per-region fast paths (the forced-slow-path
+    /// escape hatch: equivalence tests run the same program with this off
+    /// and on and demand identical messages, bytes, and data).
+    fast_enabled: Cell<bool>,
 }
 
 impl<'n> AceRt<'n> {
@@ -98,7 +102,22 @@ impl<'n> AceRt<'n> {
             gather_recv: RefCell::new(HashMap::new()),
             counters: RefCell::new(OpCounters::default()),
             last_hook: Cell::new("none"),
+            fast_enabled: Cell::new(true),
         }
+    }
+
+    /// Enable or disable the per-region fast paths ([`RegionEntry::fast`]).
+    /// On by default; turning them off forces every annotation through the
+    /// full dispatch path, which must be behaviourally identical (only
+    /// slower in virtual time). Exposed for equivalence tests and A/B
+    /// benchmarking.
+    pub fn set_fast_paths(&self, on: bool) {
+        self.fast_enabled.set(on);
+    }
+
+    /// Whether the per-region fast paths are currently enabled.
+    pub fn fast_paths_enabled(&self) -> bool {
+        self.fast_enabled.get()
     }
 
     /// The last annotation hook entered on this node (see `last_hook`).
@@ -478,6 +497,31 @@ impl<'n> AceRt<'n> {
         v
     }
 
+    /// Deterministic FNV digest over the master copy of every region
+    /// homed on this node — id and current contents, in id order.
+    /// Concatenated across ranks this covers the whole shared memory
+    /// image; remote cached copies are excluded because their end-of-run
+    /// residency races on wall-clock message timing. Equivalence tests
+    /// compare digests across runs to prove a mechanism (like the fast
+    /// mask) changed only virtual time, never data.
+    pub fn data_digest(&self) -> u64 {
+        let mut entries = self.regions.borrow().values().cloned().collect::<Vec<_>>();
+        entries.retain(|e| e.is_home_of(self.rank()));
+        entries.sort_by_key(|e| e.id);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        };
+        for e in entries {
+            mix(e.id.0);
+            for &w in e.data.borrow().iter() {
+                mix(w);
+            }
+        }
+        h
+    }
+
     /// Look up a region entry if this node has one.
     ///
     /// Every access annotation, protocol handler, and VM instruction funnels
@@ -620,11 +664,35 @@ impl<'n> AceRt<'n> {
         self.node.charge(self.node.cost().dispatch);
     }
 
+    /// Whether `action` on `e` can take the CRL-style fast path: the
+    /// protocol has declared the hook a state-preserving no-op in the
+    /// region's current state, and the escape hatch hasn't forced slow.
+    #[inline]
+    fn fast_hit(&self, e: &RegionEntry, action: Actions) -> bool {
+        self.fast_enabled.get() && e.fast.get().contains(action)
+    }
+
+    /// Charge and account one fast-path hit: a couple of loads and a
+    /// branch in the real system. Skips hook dispatch, the space lookup,
+    /// and trace-span construction; `last_hook` is still tracked (a single
+    /// store) so error diagnostics stay exact.
+    #[inline]
+    fn fast_charge(&self, hook: Hook) {
+        self.last_hook.set(hook.name());
+        self.counters.borrow_mut().fast_hits += 1;
+        self.node.charge(self.node.cost().fast_path);
+    }
+
     /// `ACE_START_READ`, dispatched through the region's space.
     pub fn start_read(&self, r: RegionId) {
         let e = self.entry(r);
-        self.dispatch_charge();
         self.counters.borrow_mut().start_reads += 1;
+        if self.fast_hit(&e, Actions::START_READ) {
+            self.fast_charge(Hook::StartRead);
+            e.read_active.set(e.read_active.get() + 1);
+            return;
+        }
+        self.dispatch_charge();
         let proto = self.space(e.space).proto();
         let st0 = self.hook_enter(Hook::StartRead, &e, proto.name());
         proto.start_read(self, &e);
@@ -635,10 +703,14 @@ impl<'n> AceRt<'n> {
     /// `ACE_END_READ`.
     pub fn end_read(&self, r: RegionId) {
         let e = self.entry(r);
-        self.dispatch_charge();
         self.counters.borrow_mut().ends += 1;
         assert!(e.read_active.get() > 0, "end_read outside a read section on {r}");
         e.read_active.set(e.read_active.get() - 1);
+        if self.fast_hit(&e, Actions::END_READ) {
+            self.fast_charge(Hook::EndRead);
+            return;
+        }
+        self.dispatch_charge();
         let proto = self.space(e.space).proto();
         let st0 = self.hook_enter(Hook::EndRead, &e, proto.name());
         proto.end_read(self, &e);
@@ -648,8 +720,13 @@ impl<'n> AceRt<'n> {
     /// `ACE_START_WRITE`.
     pub fn start_write(&self, r: RegionId) {
         let e = self.entry(r);
-        self.dispatch_charge();
         self.counters.borrow_mut().start_writes += 1;
+        if self.fast_hit(&e, Actions::START_WRITE) {
+            self.fast_charge(Hook::StartWrite);
+            e.write_active.set(e.write_active.get() + 1);
+            return;
+        }
+        self.dispatch_charge();
         let proto = self.space(e.space).proto();
         let st0 = self.hook_enter(Hook::StartWrite, &e, proto.name());
         proto.start_write(self, &e);
@@ -660,10 +737,14 @@ impl<'n> AceRt<'n> {
     /// `ACE_END_WRITE`.
     pub fn end_write(&self, r: RegionId) {
         let e = self.entry(r);
-        self.dispatch_charge();
         self.counters.borrow_mut().ends += 1;
         assert!(e.write_active.get() > 0, "end_write outside a write section on {r}");
         e.write_active.set(e.write_active.get() - 1);
+        if self.fast_hit(&e, Actions::END_WRITE) {
+            self.fast_charge(Hook::EndWrite);
+            return;
+        }
+        self.dispatch_charge();
         let proto = self.space(e.space).proto();
         let st0 = self.hook_enter(Hook::EndWrite, &e, proto.name());
         proto.end_write(self, &e);
@@ -684,11 +765,19 @@ impl<'n> AceRt<'n> {
         self.node.charge(self.node.cost().direct_call);
     }
 
-    /// `ACE_START_READ` with a statically-resolved protocol.
+    /// `ACE_START_READ` with a statically-resolved protocol. Consults the
+    /// region's fast mask before the monomorphic call, like the dispatched
+    /// path — the fast rung sits below `Direct` on the cost ladder, and
+    /// sharing the mechanism keeps the CRL comparison honest.
     pub fn start_read_direct(&self, r: RegionId, proto: &dyn Protocol) {
         let e = self.entry(r);
-        self.direct_charge();
         self.counters.borrow_mut().start_reads += 1;
+        if self.fast_hit(&e, Actions::START_READ) {
+            self.fast_charge(Hook::StartRead);
+            e.read_active.set(e.read_active.get() + 1);
+            return;
+        }
+        self.direct_charge();
         let st0 = self.hook_enter(Hook::StartRead, &e, proto.name());
         proto.start_read(self, &e);
         self.hook_exit(st0, Hook::StartRead, &e, proto.name());
@@ -700,9 +789,13 @@ impl<'n> AceRt<'n> {
     /// `start_read` while keeping a non-null `end_read`.
     pub fn end_read_direct(&self, r: RegionId, proto: &dyn Protocol) {
         let e = self.entry(r);
-        self.direct_charge();
         self.counters.borrow_mut().ends += 1;
         e.read_active.set(e.read_active.get().saturating_sub(1));
+        if self.fast_hit(&e, Actions::END_READ) {
+            self.fast_charge(Hook::EndRead);
+            return;
+        }
+        self.direct_charge();
         let st0 = self.hook_enter(Hook::EndRead, &e, proto.name());
         proto.end_read(self, &e);
         self.hook_exit(st0, Hook::EndRead, &e, proto.name());
@@ -711,8 +804,13 @@ impl<'n> AceRt<'n> {
     /// `ACE_START_WRITE` with a statically-resolved protocol.
     pub fn start_write_direct(&self, r: RegionId, proto: &dyn Protocol) {
         let e = self.entry(r);
-        self.direct_charge();
         self.counters.borrow_mut().start_writes += 1;
+        if self.fast_hit(&e, Actions::START_WRITE) {
+            self.fast_charge(Hook::StartWrite);
+            e.write_active.set(e.write_active.get() + 1);
+            return;
+        }
+        self.direct_charge();
         let st0 = self.hook_enter(Hook::StartWrite, &e, proto.name());
         proto.start_write(self, &e);
         self.hook_exit(st0, Hook::StartWrite, &e, proto.name());
@@ -723,9 +821,13 @@ impl<'n> AceRt<'n> {
     /// unbalanced section (see [`AceRt::end_read_direct`]).
     pub fn end_write_direct(&self, r: RegionId, proto: &dyn Protocol) {
         let e = self.entry(r);
-        self.direct_charge();
         self.counters.borrow_mut().ends += 1;
         e.write_active.set(e.write_active.get().saturating_sub(1));
+        if self.fast_hit(&e, Actions::END_WRITE) {
+            self.fast_charge(Hook::EndWrite);
+            return;
+        }
+        self.direct_charge();
         let st0 = self.hook_enter(Hook::EndWrite, &e, proto.name());
         proto.end_write(self, &e);
         self.hook_exit(st0, Hook::EndWrite, &e, proto.name());
@@ -1314,6 +1416,61 @@ mod tests {
             }
         });
         assert_eq!(r.results, vec![true, true]);
+    }
+
+    /// Like `NoopProtocol`, but declares every access hook fast in every
+    /// state — exercises the fast-path plumbing end to end.
+    struct FastNoop;
+
+    impl Protocol for FastNoop {
+        fn name(&self) -> &'static str {
+            "fastnoop"
+        }
+        fn on_create(&self, _rt: &AceRt, e: &RegionEntry) {
+            e.fast.set(Actions::ACCESS);
+        }
+        fn on_map(&self, _rt: &AceRt, e: &RegionEntry) {
+            e.fast.set(Actions::ACCESS);
+        }
+        fn start_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn end_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn start_write(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn end_write(&self, _rt: &AceRt, _e: &RegionEntry) {}
+        fn handle(&self, _rt: &AceRt, _e: &RegionEntry, _msg: ProtoMsg, _src: usize) {}
+        fn flush(&self, _rt: &AceRt, _e: &RegionEntry) {}
+    }
+
+    #[test]
+    fn fast_mask_absorbs_accesses_and_escape_hatch_restores_dispatch() {
+        let r = run_ace(1, CostModel::cm5(), |rt| {
+            let s = rt.new_space(Rc::new(FastNoop));
+            let rid = rt.gmalloc::<u64>(s, 1);
+            rt.map(rid);
+            let t0 = rt.node().now();
+            rt.start_read(rid);
+            rt.end_read(rid);
+            let fast_elapsed = rt.node().now() - t0;
+            let hook_after_fast = rt.last_hook();
+
+            rt.set_fast_paths(false);
+            let t1 = rt.node().now();
+            rt.start_write(rid);
+            rt.end_write(rid);
+            let slow_elapsed = rt.node().now() - t1;
+            rt.set_fast_paths(true);
+
+            (rt.counters(), fast_elapsed, slow_elapsed, hook_after_fast)
+        });
+        let (c, fast_elapsed, slow_elapsed, hook_after_fast) = r.results[0].clone();
+        assert_eq!(c.fast_hits, 2, "read pair absorbed by the mask");
+        assert_eq!(c.dispatched, 2, "forced-slow write pair dispatches");
+        assert_eq!(c.start_reads, 1);
+        assert_eq!(c.ends, 2);
+        assert!(
+            fast_elapsed < slow_elapsed,
+            "fast pair must be cheaper: {fast_elapsed} vs {slow_elapsed}"
+        );
+        assert_eq!(hook_after_fast, "end_read", "fast path still tracks last_hook");
     }
 
     #[test]

@@ -430,15 +430,22 @@ mod tests {
 
     #[test]
     fn direct_calls_not_dispatched() {
+        // A home read pair in the quiescent state is absorbed by the
+        // region's fast mask — the CRL-style in-state fast path. With the
+        // mask disabled, the same accesses fall back to direct (but still
+        // never dispatched) hook calls.
         let r = run_crl(1, CostModel::free(), |crl| {
             let rid = crl.create_words(1);
             crl.map(rid);
             crl.start_read(rid);
             crl.end_read(rid);
-            let c = crl.counters();
-            (c.direct, c.dispatched)
+            let fast = crl.counters();
+            crl.inner().set_fast_paths(false);
+            crl.start_read(rid);
+            crl.end_read(rid);
+            let slow = crl.counters();
+            (fast.fast_hits, fast.direct, slow.fast_hits, slow.direct, slow.dispatched)
         });
-        assert_eq!(r.results[0].0, 2);
-        assert_eq!(r.results[0].1, 0);
+        assert_eq!(r.results[0], (2, 0, 2, 2, 0));
     }
 }

@@ -111,6 +111,9 @@ mod tests {
         let cfg = SystemConfig::builtin();
         let p = compile(src, &cfg, OptLevel::Direct).unwrap();
         let r = run_ace(1, CostModel::free(), |rt| {
+            // Disable the runtime fast mask so the counters reflect the
+            // compiler's dispatch modes rather than in-state absorption.
+            rt.set_fast_paths(false);
             let v = crate::vm::run_program(rt, &p).unwrap().as_f();
             (v, rt.counters().dispatched, rt.counters().direct)
         });
@@ -120,6 +123,15 @@ mod tests {
         // legal — uniqueness, not optimizability, gates direct dispatch),
         // but none are removed because SC declares no null actions.
         assert!(disp == 0 && dir > 0, "disp={disp} dir={dir}");
+
+        // With the mask enabled, the same direct calls are absorbed by
+        // the in-state fast path — the fourth rung of the Table 4 ladder.
+        let r = run_ace(1, CostModel::free(), |rt| {
+            crate::vm::run_program(rt, &p).unwrap().as_f();
+            (rt.counters().direct, rt.counters().fast_hits)
+        });
+        let (dir_on, fast_on) = r.results[0];
+        assert!(fast_on > 0 && dir_on < dir, "dir_on={dir_on} fast_on={fast_on}");
     }
 
     #[test]
@@ -138,6 +150,9 @@ mod tests {
         let cfg = SystemConfig::builtin();
         let p = compile(src, &cfg, OptLevel::Direct).unwrap();
         let r = run_ace(1, CostModel::free(), |rt| {
+            // The fast mask would absorb these accesses at runtime; turn
+            // it off to observe the dispatch mode the compiler chose.
+            rt.set_fast_paths(false);
             crate::vm::run_program(rt, &p).unwrap().as_f();
             rt.counters().dispatched
         });

@@ -90,16 +90,30 @@ enum SlotVal {
     Array(Vec<Value>),
 }
 
+/// A reusable activation record: the register file and local slots for
+/// one call. Pooled per function so repeated calls (the common case for
+/// kernels called once per iteration) reuse their allocations instead of
+/// reallocating `regs`/`slots` on every `Vm::call`.
+struct Frame {
+    regs: Vec<Value>,
+    slots: Vec<SlotVal>,
+}
+
 struct Vm<'a, 'n> {
     rt: &'a AceRt<'n>,
     prog: &'a Program,
     directs: HashMap<ProtoSpec, Rc<dyn Protocol>>,
+    /// Per-function pools of retired frames, indexed by `FuncId`. More
+    /// than one entry per function only under recursion.
+    frames: Vec<Vec<Frame>>,
 }
 
 /// Execute the program's `main` on this node's runtime; returns main's
 /// return value, if any.
 pub fn run_program(rt: &AceRt, prog: &Program) -> Option<Value> {
-    let mut vm = Vm { rt, prog, directs: HashMap::new() };
+    let mut frames = Vec::new();
+    frames.resize_with(prog.funcs.len(), Vec::new);
+    let mut vm = Vm { rt, prog, directs: HashMap::new(), frames };
     vm.call(prog.main, Vec::new())
 }
 
@@ -108,34 +122,68 @@ impl Vm<'_, '_> {
         self.directs.entry(spec).or_insert_with(|| make(spec)).clone()
     }
 
+    /// Check a frame out of `fid`'s pool (or build a fresh one) with
+    /// registers zeroed and slots reset to their default values.
+    fn take_frame(&mut self, fid: FuncId) -> Frame {
+        let f = &self.prog.funcs[fid];
+        match self.frames[fid].pop() {
+            Some(mut frame) => {
+                frame.regs.clear();
+                frame.regs.resize(f.nregs as usize, Value::I(0));
+                debug_assert_eq!(frame.slots.len(), f.slots.len());
+                for (sv, s) in frame.slots.iter_mut().zip(&f.slots) {
+                    match (sv, s) {
+                        (SlotVal::Scalar(v), Slot::Scalar(t)) => *v = default_val(*t),
+                        (SlotVal::Array(v), Slot::Array(t, len)) => {
+                            v.clear();
+                            v.resize(*len, default_val(*t));
+                        }
+                        (sv, s) => {
+                            *sv = match s {
+                                Slot::Scalar(t) => SlotVal::Scalar(default_val(*t)),
+                                Slot::Array(t, len) => SlotVal::Array(vec![default_val(*t); *len]),
+                            }
+                        }
+                    }
+                }
+                frame
+            }
+            None => Frame {
+                regs: vec![Value::I(0); f.nregs as usize],
+                slots: f
+                    .slots
+                    .iter()
+                    .map(|s| match s {
+                        Slot::Scalar(t) => SlotVal::Scalar(default_val(*t)),
+                        Slot::Array(t, len) => SlotVal::Array(vec![default_val(*t); *len]),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
     fn call(&mut self, fid: FuncId, args: Vec<Value>) -> Option<Value> {
         let f = &self.prog.funcs[fid];
-        let mut slots: Vec<SlotVal> = f
-            .slots
-            .iter()
-            .map(|s| match s {
-                Slot::Scalar(t) => SlotVal::Scalar(default_val(*t)),
-                Slot::Array(t, len) => SlotVal::Array(vec![default_val(*t); *len]),
-            })
-            .collect();
+        let mut frame = self.take_frame(fid);
         for (i, a) in args.into_iter().enumerate() {
-            slots[i] = SlotVal::Scalar(a);
+            frame.slots[i] = SlotVal::Scalar(a);
         }
-        let mut regs: Vec<Value> = vec![Value::I(0); f.nregs as usize];
         let mut bb: BlockId = 0;
-        loop {
+        let ret = loop {
             let block = &f.blocks[bb];
             for inst in &block.insts {
-                self.exec(inst, &mut regs, &mut slots);
+                self.exec(inst, &mut frame.regs, &mut frame.slots);
             }
             match &block.term {
                 Term::Jump(t) => bb = *t,
                 Term::Br { cond, t, f: fb } => {
-                    bb = if regs[*cond as usize].as_i() != 0 { *t } else { *fb };
+                    bb = if frame.regs[*cond as usize].as_i() != 0 { *t } else { *fb };
                 }
-                Term::Ret(r) => return r.map(|r| regs[r as usize]),
+                Term::Ret(r) => break r.map(|r| frame.regs[r as usize]),
             }
-        }
+        };
+        self.frames[fid].push(frame);
+        ret
     }
 
     fn exec(&mut self, inst: &Inst, regs: &mut [Value], slots: &mut [SlotVal]) {

@@ -30,6 +30,11 @@ pub struct CostModel {
     /// A direct (monomorphic) protocol call, after the compiler's
     /// direct-dispatch optimization or in a fixed-protocol runtime like CRL.
     pub direct_call: u64,
+    /// An access annotation absorbed by the per-region fast mask: a couple
+    /// of loads and a branch, the analogue of CRL's in-cache fast path
+    /// (Johnson et al., SOSP 1995). Sits well below `direct_call`, giving
+    /// Table 4 its fourth rung (Removed < Fast < Direct < Dispatch).
+    pub fast_path: u64,
     /// Base CPU cost of executing one protocol state-machine action.
     pub proto_action: u64,
     /// One double-precision floating-point operation (33 MHz SPARC, ~4
@@ -54,6 +59,7 @@ impl CostModel {
             map_lookup: 700,
             dispatch: 500,
             direct_call: 150,
+            fast_path: 60,
             proto_action: 1_500,
             flop: 120,
             mem: 60,
@@ -72,6 +78,7 @@ impl CostModel {
             map_lookup: 0,
             dispatch: 0,
             direct_call: 0,
+            fast_path: 0,
             proto_action: 0,
             flop: 0,
             mem: 0,
@@ -115,7 +122,16 @@ mod tests {
     fn free_model_is_all_zero() {
         let c = CostModel::free();
         assert_eq!(c.wire_time(1 << 20), 0);
-        assert_eq!(c.dispatch + c.direct_call + c.flop + c.mem, 0);
+        assert_eq!(c.dispatch + c.direct_call + c.fast_path + c.flop + c.mem, 0);
+    }
+
+    #[test]
+    fn cost_ladder_orders_the_table4_rungs() {
+        // Removed (0) < Fast < Direct < Dispatch.
+        let c = CostModel::cm5();
+        assert!(c.fast_path > 0);
+        assert!(c.fast_path < c.direct_call);
+        assert!(c.direct_call < c.dispatch);
     }
 
     #[test]

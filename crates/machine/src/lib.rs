@@ -32,8 +32,6 @@ pub use cost::CostModel;
 pub use envelope::{Envelope, MsgSize};
 pub use node::Node;
 pub use pod::Pod;
-#[allow(deprecated)]
-pub use spmd::run_spmd;
 pub use spmd::{MachineBuilder, Spmd, SpmdResult};
 pub use stats::{MachineStats, NodeStats};
 // Re-exported so downstream crates configure and consume tracing without

@@ -137,20 +137,6 @@ impl<M: MsgSize + Send> Node<M> {
         self.sink.enabled().then(|| self.sink.take(self.rank))
     }
 
-    /// Override the hang watchdog.
-    #[deprecated(since = "0.2.0", note = "configure via Spmd::builder().watchdog(..)")]
-    pub fn set_watchdog(&self, d: Duration) {
-        self.watchdog.set(d);
-    }
-
-    /// Override the drain burst size (1 = unbatched reception; the batched
-    /// path must be observationally identical, which tests verify).
-    #[deprecated(since = "0.2.0", note = "configure via Spmd::builder().drain_batch(..)")]
-    pub fn set_drain_batch(&self, n: usize) {
-        assert!(n >= 1, "drain batch must be at least 1");
-        self.drain_batch.set(n);
-    }
-
     /// Inject a message to `dst`. Charges send overhead and records stats.
     /// Sending to self is allowed (the message is delivered via the normal
     /// polling path, like a loopback active message).

@@ -230,18 +230,6 @@ impl Drop for FailGuard {
     }
 }
 
-/// Launch `nprocs` simulated processors with the default watchdog, drain
-/// batch, and no tracing.
-#[deprecated(since = "0.2.0", note = "use Spmd::builder().nprocs(n).cost(c).run(f)")]
-pub fn run_spmd<M, R, F>(nprocs: usize, cost: CostModel, f: F) -> SpmdResult<R>
-where
-    M: MsgSize + Send,
-    R: Send,
-    F: Fn(&Node<M>) -> R + Sync,
-{
-    Spmd::builder().nprocs(nprocs).cost(cost).run(f)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,13 +317,6 @@ mod tests {
         for (rank, got) in r.results.iter().enumerate() {
             assert_eq!(*got, total - (rank as u64 + 1));
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_spmd_still_works() {
-        let r = run_spmd::<(), _, _>(2, CostModel::free(), |node| node.rank());
-        assert_eq!(r.results, vec![0, 1]);
     }
 
     #[test]

@@ -80,6 +80,20 @@ impl Protocol for FetchAddCounter {
             .union(Actions::UNMAP)
     }
 
+    // All four access hooks are unconditional no-ops (the protocol's work
+    // happens in `lock`), so every access is fast in every state.
+    fn on_create(&self, _rt: &AceRt, e: &RegionEntry) {
+        e.fast.set(Actions::ACCESS);
+    }
+
+    fn on_map(&self, _rt: &AceRt, e: &RegionEntry) {
+        e.fast.set(Actions::ACCESS);
+    }
+
+    fn adopt(&self, _rt: &AceRt, e: &RegionEntry) {
+        e.fast.set(Actions::ACCESS);
+    }
+
     fn start_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
     fn end_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
     fn start_write(&self, _rt: &AceRt, _e: &RegionEntry) {}
@@ -126,6 +140,7 @@ impl Protocol for FetchAddCounter {
             e.st.set(crate::states::R_INVALID);
         }
         e.aux.set(0);
+        e.fast.set(Actions::empty());
     }
 }
 

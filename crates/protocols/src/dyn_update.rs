@@ -108,6 +108,19 @@ impl DynamicUpdate {
         debug_assert!(v >= 0, "outstanding underflow");
         s.outstanding.set(v as u64);
     }
+
+    /// Recompute the entry's fast mask from its current state.
+    /// `end_read` is an unconditional no-op; the start hooks are no-ops
+    /// whenever a writable copy is already present (home, or a joined
+    /// sharer — writers need no exclusivity under update propagation).
+    /// `end_write` always starts an update round, so it is never fast.
+    fn refresh_fast(&self, rt: &AceRt, e: &RegionEntry) {
+        let mut fast = Actions::END_READ;
+        if e.is_home_of(rt.rank()) || e.st.get() == R_SHARED {
+            fast = fast.union(Actions::START_READ).union(Actions::START_WRITE);
+        }
+        e.fast.set(fast);
+    }
 }
 
 impl Protocol for DynamicUpdate {
@@ -127,11 +140,16 @@ impl Protocol for DynamicUpdate {
         Actions::END_READ.union(Actions::UNMAP)
     }
 
+    fn on_create(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
     fn on_map(&self, rt: &AceRt, e: &RegionEntry) {
         if !e.is_home_of(rt.rank()) && e.st.get() == R_INVALID {
             rt.counters_mut(|c| c.read_misses += 1);
             self.join(rt, e);
         }
+        self.refresh_fast(rt, e);
     }
 
     fn start_read(&self, rt: &AceRt, e: &RegionEntry) {
@@ -141,6 +159,7 @@ impl Protocol for DynamicUpdate {
             rt.counters_mut(|c| c.read_misses += 1);
             self.join(rt, e);
         }
+        self.refresh_fast(rt, e);
     }
 
     fn end_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
@@ -229,9 +248,13 @@ impl Protocol for DynamicUpdate {
             }
             other => panic!("Update: unknown opcode {other}"),
         }
+        self.refresh_fast(rt, e);
     }
 
     fn flush(&self, rt: &AceRt, e: &RegionEntry) {
+        // Hand the region to the next protocol slow; it declares its own
+        // fast states in `adopt`.
+        e.fast.set(Actions::empty());
         if e.is_home_of(rt.rank()) {
             return;
         }
@@ -249,6 +272,7 @@ impl Protocol for DynamicUpdate {
         if !e.is_home_of(rt.rank()) && e.mapped.get() > 0 {
             self.join(rt, e);
         }
+        self.refresh_fast(rt, e);
     }
 }
 

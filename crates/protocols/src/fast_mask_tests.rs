@@ -1,0 +1,262 @@
+//! Fast-mask invariant tests.
+//!
+//! The contract of [`RegionEntry::fast`] is: a set bit promises that
+//! running the corresponding hook *right now* would neither send a
+//! message nor mutate any entry or space state — which is exactly what
+//! licenses the runtime to skip the hook. These tests drive each protocol
+//! into its interesting states and, at every checkpoint, invoke each hook
+//! whose fast bit is set directly on the protocol object, asserting that
+//! a full snapshot of the observable state is unchanged.
+
+use ace_core::{run_ace, AceRt, Actions, CostModel, Protocol, RegionEntry, RegionId};
+use std::rc::Rc;
+
+use crate::{
+    DynamicUpdate, FetchAddCounter, HomeOwned, Migratory, NullProtocol, PipelinedWrite,
+    SeqInvalidate, StaticUpdate,
+};
+
+/// Everything a no-op access hook must leave untouched.
+#[derive(Debug, PartialEq)]
+struct Snap {
+    st: u32,
+    aux: u64,
+    sharers: u64,
+    owner: i32,
+    pending: u32,
+    blocked: usize,
+    twin: Option<Vec<u64>>,
+    data: Vec<u64>,
+    fast: Actions,
+    msgs_sent: u64,
+    outstanding: u64,
+}
+
+fn snap(rt: &AceRt, e: &RegionEntry) -> Snap {
+    Snap {
+        st: e.st.get(),
+        aux: e.aux.get(),
+        sharers: e.sharers.get(),
+        owner: e.owner.get(),
+        pending: e.pending.get(),
+        blocked: e.blocked.borrow().len(),
+        twin: e.twin.borrow().as_ref().map(|t| t.to_vec()),
+        data: e.data.borrow().to_vec(),
+        fast: e.fast.get(),
+        msgs_sent: rt.node().stats().msgs_sent,
+        outstanding: rt.space(e.space).outstanding.get(),
+    }
+}
+
+/// For every access hook whose fast bit is set, run the hook and assert
+/// the snapshot is bit-identical afterwards. (The mask is also part of
+/// the snapshot, so this doubles as a check that `refresh_fast` is a
+/// pure function of the state it just left unchanged.)
+fn assert_fast_noops<P: Protocol>(rt: &AceRt, p: &P, rid: RegionId, ctx: &str) {
+    type HookFn<P> = fn(&P, &AceRt, &RegionEntry);
+    let hooks: [(Actions, &str, HookFn<P>); 4] = [
+        (Actions::START_READ, "start_read", P::start_read),
+        (Actions::END_READ, "end_read", P::end_read),
+        (Actions::START_WRITE, "start_write", P::start_write),
+        (Actions::END_WRITE, "end_write", P::end_write),
+    ];
+    let e = rt.entry(rid);
+    let mask = e.fast.get();
+    assert_ne!(mask, Actions::empty(), "{ctx}: expected some fast bits");
+    for (bit, name, hook) in hooks {
+        if !mask.contains(bit) {
+            continue;
+        }
+        let before = snap(rt, &e);
+        hook(p, rt, &e);
+        let after = snap(rt, &e);
+        assert_eq!(before, after, "{ctx}: fast bit for {name} set but hook was not a no-op");
+    }
+}
+
+fn shared_region<P: Protocol + 'static>(rt: &AceRt, p: Rc<P>, words: usize) -> RegionId {
+    let s = rt.new_space(p);
+    let rid = if rt.rank() == 0 {
+        RegionId(rt.bcast(0, &[rt.gmalloc_words(s, words).0])[0])
+    } else {
+        RegionId(rt.bcast(0, &[])[0])
+    };
+    rt.map(rid);
+    rid
+}
+
+#[test]
+fn null_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(NullProtocol::new());
+        let rid = shared_region(rt, p.clone(), 2);
+        assert_fast_noops(rt, &*p, rid, "null (either side)");
+        rt.machine_barrier();
+    });
+}
+
+#[test]
+fn counter_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(FetchAddCounter::new());
+        let rid = shared_region(rt, p.clone(), 1);
+        rt.machine_barrier();
+        rt.lock(rid);
+        rt.start_read(rid);
+        let t = rt.with::<u64, _>(rid, |d| d[0]);
+        rt.end_read(rid);
+        rt.start_write(rid);
+        rt.with_mut::<u64, _>(rid, |d| d[0] = t + 1);
+        rt.end_write(rid);
+        rt.unlock(rid);
+        assert_fast_noops(rt, &*p, rid, "counter after a ticket");
+        rt.machine_barrier();
+    });
+}
+
+#[test]
+fn seq_inv_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(SeqInvalidate::new());
+        let rid = shared_region(rt, p.clone(), 1);
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            assert_fast_noops(rt, &*p, rid, "sc home quiescent");
+        }
+        rt.machine_barrier();
+        if rt.rank() == 1 {
+            rt.start_read(rid);
+            rt.with::<u64, _>(rid, |d| d[0]);
+            rt.end_read(rid);
+            assert_fast_noops(rt, &*p, rid, "sc remote shared");
+        }
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            assert_fast_noops(rt, &*p, rid, "sc home with a sharer");
+        }
+        rt.machine_barrier();
+        if rt.rank() == 1 {
+            rt.start_write(rid);
+            rt.with_mut::<u64, _>(rid, |d| d[0] = 7);
+            rt.end_write(rid);
+            assert_fast_noops(rt, &*p, rid, "sc remote exclusive");
+        }
+        rt.machine_barrier();
+    });
+}
+
+#[test]
+fn dyn_update_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(DynamicUpdate::new());
+        let rid = shared_region(rt, p.clone(), 1);
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            assert_fast_noops(rt, &*p, rid, "dyn-update home");
+        }
+        rt.machine_barrier();
+        if rt.rank() == 1 {
+            rt.start_read(rid);
+            rt.with::<u64, _>(rid, |d| d[0]);
+            rt.end_read(rid);
+            assert_fast_noops(rt, &*p, rid, "dyn-update joined sharer");
+        }
+        rt.machine_barrier();
+    });
+}
+
+#[test]
+fn static_update_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(StaticUpdate::new());
+        let rid = shared_region(rt, p.clone(), 1);
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            assert_fast_noops(rt, &*p, rid, "static-update home");
+        } else {
+            assert_fast_noops(rt, &*p, rid, "static-update subscriber");
+        }
+        rt.machine_barrier();
+    });
+}
+
+#[test]
+fn home_owned_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(HomeOwned::new());
+        let rid = shared_region(rt, p.clone(), 2);
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            assert_fast_noops(rt, &*p, rid, "home-owned home");
+        } else {
+            // Before the first pull the copy is invalid: starts are slow.
+            assert!(!rt.entry(rid).fast.get().contains(Actions::START_READ));
+            rt.start_read(rid);
+            rt.with::<u64, _>(rid, |d| d[0]);
+            rt.end_read(rid);
+            assert_fast_noops(rt, &*p, rid, "home-owned consumer with copy");
+        }
+        rt.machine_barrier();
+    });
+}
+
+#[test]
+fn migratory_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(Migratory::new());
+        let rid = shared_region(rt, p.clone(), 1);
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            assert_fast_noops(rt, &*p, rid, "migratory home, master quiescent");
+        }
+        rt.machine_barrier();
+        if rt.rank() == 1 {
+            rt.start_write(rid);
+            rt.with_mut::<u64, _>(rid, |d| d[0] += 1);
+            rt.end_write(rid);
+            assert_fast_noops(rt, &*p, rid, "migratory remote owner");
+        }
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            // Remote holds the copy: starts must be slow (they recall),
+            // ends stay fast (nothing parked).
+            let mask = rt.entry(rid).fast.get();
+            assert!(!mask.contains(Actions::START_READ));
+            assert!(mask.contains(Actions::END_READ));
+            assert_fast_noops(rt, &*p, rid, "migratory home, copy away");
+        }
+        rt.machine_barrier();
+    });
+}
+
+#[test]
+fn pipelined_fast_bits_are_noops() {
+    run_ace(2, CostModel::free(), |rt| {
+        let p = Rc::new(PipelinedWrite::new());
+        let rid = shared_region(rt, p.clone(), 1);
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            assert_fast_noops(rt, &*p, rid, "pipelined home");
+        } else {
+            rt.start_read(rid);
+            rt.with::<f64, _>(rid, |d| d[0]);
+            rt.end_read(rid);
+            // Copy resident but no twin yet: reads fast, writes slow.
+            let mask = rt.entry(rid).fast.get();
+            assert!(mask.contains(Actions::START_READ));
+            assert!(!mask.contains(Actions::START_WRITE));
+            assert_fast_noops(rt, &*p, rid, "pipelined reader with copy");
+
+            rt.start_write(rid);
+            rt.with_mut::<f64, _>(rid, |d| d[0] += 1.0);
+            rt.end_write(rid);
+            // Twin in place: start_write joins the fast set; end_write
+            // stays slow (it ships a delta home).
+            let mask = rt.entry(rid).fast.get();
+            assert!(mask.contains(Actions::START_WRITE));
+            assert!(!mask.contains(Actions::END_WRITE));
+            assert_fast_noops(rt, &*p, rid, "pipelined writer with twin");
+        }
+        rt.machine_barrier();
+    });
+}

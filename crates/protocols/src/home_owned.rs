@@ -40,6 +40,21 @@ impl HomeOwned {
     pub fn new() -> Self {
         HomeOwned
     }
+
+    /// Recompute the entry's fast mask. End hooks are unconditional
+    /// no-ops. `start_read` only fetches on a remote invalid copy, so it
+    /// is fast at home or while a pulled copy is still valid.
+    /// `start_write` only debug-asserts home-ness, so it is fast at home
+    /// (and deliberately slow remotely, keeping the assert live).
+    fn refresh_fast(&self, rt: &AceRt, e: &RegionEntry) {
+        let mut fast = Actions::END_READ.union(Actions::END_WRITE);
+        if e.is_home_of(rt.rank()) {
+            fast = fast.union(Actions::START_READ).union(Actions::START_WRITE);
+        } else if e.st.get() != R_INVALID {
+            fast = fast.union(Actions::START_READ);
+        }
+        e.fast.set(fast);
+    }
 }
 
 impl Protocol for HomeOwned {
@@ -62,6 +77,14 @@ impl Protocol for HomeOwned {
             .union(Actions::UNMAP)
     }
 
+    fn on_create(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
+    fn on_map(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
     fn start_read(&self, rt: &AceRt, e: &RegionEntry) {
         if !e.is_home_of(rt.rank()) && e.st.get() == R_INVALID {
             rt.counters_mut(|c| c.read_misses += 1);
@@ -69,6 +92,7 @@ impl Protocol for HomeOwned {
             rt.send_proto(e.id.home(), e.id, op::FETCH, 0, None);
             rt.wait("home-owned fetch", || e.st.get() == R_SHARED);
         }
+        self.refresh_fast(rt, e);
     }
 
     fn end_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
@@ -90,6 +114,7 @@ impl Protocol for HomeOwned {
         for e in rt.regions_of_space(s.id) {
             if !e.is_home_of(rt.rank()) {
                 e.st.set(R_INVALID);
+                self.refresh_fast(rt, &e);
             }
         }
         rt.space_barrier(s);
@@ -107,6 +132,7 @@ impl Protocol for HomeOwned {
             }
             other => panic!("HomeOwned: unknown opcode {other}"),
         }
+        self.refresh_fast(rt, e);
     }
 
     fn flush(&self, rt: &AceRt, e: &RegionEntry) {
@@ -114,6 +140,13 @@ impl Protocol for HomeOwned {
             e.st.set(R_INVALID);
         }
         e.aux.set(0);
+        // Hand the region to the next protocol slow; it declares its own
+        // fast states in `adopt`.
+        e.fast.set(Actions::empty());
+    }
+
+    fn adopt(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
     }
 }
 

@@ -25,6 +25,8 @@
 
 pub mod counter;
 pub mod dyn_update;
+#[cfg(test)]
+mod fast_mask_tests;
 pub mod home_owned;
 pub mod migratory;
 pub mod null;

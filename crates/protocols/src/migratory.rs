@@ -94,6 +94,31 @@ impl Migratory {
             );
         }
     }
+
+    /// Recompute the entry's fast mask. Starts are no-ops when the copy
+    /// is already where it needs to be: the master is quiescent at home,
+    /// or this node holds it exclusively with no recall in flight. Ends
+    /// are no-ops unless there is deferred work — parked requests to
+    /// drain at home, a pending recall to honor remotely.
+    fn refresh_fast(&self, rt: &AceRt, e: &RegionEntry) {
+        let mut fast = Actions::empty();
+        if e.is_home_of(rt.rank()) {
+            if e.owner.get() == -1 && e.aux.get() & BUSY == 0 {
+                fast = fast.union(Actions::START_READ).union(Actions::START_WRITE);
+            }
+            if e.blocked.borrow().is_empty() && e.aux.get() & BUSY == 0 {
+                fast = fast.union(Actions::END_READ).union(Actions::END_WRITE);
+            }
+        } else {
+            if e.st.get() == R_EXCL && e.aux.get() & RECALL_PENDING == 0 {
+                fast = fast.union(Actions::START_READ).union(Actions::START_WRITE);
+            }
+            if e.aux.get() & RECALL_PENDING == 0 {
+                fast = fast.union(Actions::END_READ).union(Actions::END_WRITE);
+            }
+        }
+        e.fast.set(fast);
+    }
 }
 
 impl Protocol for Migratory {
@@ -113,8 +138,17 @@ impl Protocol for Migratory {
         Actions::END_READ.union(Actions::END_WRITE).union(Actions::UNMAP)
     }
 
+    fn on_create(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
+    fn on_map(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
     fn start_read(&self, rt: &AceRt, e: &RegionEntry) {
         self.acquire(rt, e);
+        self.refresh_fast(rt, e);
     }
 
     fn end_read(&self, rt: &AceRt, e: &RegionEntry) {
@@ -122,17 +156,17 @@ impl Protocol for Migratory {
             if !e.busy() && e.aux.get() & BUSY == 0 && !e.blocked.borrow().is_empty() {
                 self.drain_blocked(rt, e);
             }
-            return;
-        }
-        if !e.busy() && e.aux.get() & RECALL_PENDING != 0 {
+        } else if !e.busy() && e.aux.get() & RECALL_PENDING != 0 {
             e.aux.set(e.aux.get() & !RECALL_PENDING);
             e.st.set(R_INVALID);
             rt.send_proto(e.id.home(), e.id, op::WB, 0, Some(e.clone_data()));
         }
+        self.refresh_fast(rt, e);
     }
 
     fn start_write(&self, rt: &AceRt, e: &RegionEntry) {
         self.acquire(rt, e);
+        self.refresh_fast(rt, e);
     }
 
     fn end_write(&self, rt: &AceRt, e: &RegionEntry) {
@@ -188,20 +222,27 @@ impl Protocol for Migratory {
             }
             other => panic!("Migratory: unknown opcode {other}"),
         }
+        self.refresh_fast(rt, e);
     }
 
     fn flush(&self, rt: &AceRt, e: &RegionEntry) {
-        if e.is_home_of(rt.rank()) {
-            return;
+        if !e.is_home_of(rt.rank()) {
+            if e.st.get() == R_EXCL {
+                e.aux.set(e.aux.get() | FLUSH_WAIT);
+                let data = e.clone_data();
+                e.st.set(R_INVALID);
+                rt.send_proto(e.id.home(), e.id, op::FLUSH_X, 0, Some(data));
+                rt.wait("migratory flush ack", || e.aux.get() & FLUSH_WAIT == 0);
+            }
+            e.aux.set(0);
         }
-        if e.st.get() == R_EXCL {
-            e.aux.set(e.aux.get() | FLUSH_WAIT);
-            let data = e.clone_data();
-            e.st.set(R_INVALID);
-            rt.send_proto(e.id.home(), e.id, op::FLUSH_X, 0, Some(data));
-            rt.wait("migratory flush ack", || e.aux.get() & FLUSH_WAIT == 0);
-        }
-        e.aux.set(0);
+        // Hand the region to the next protocol slow; it declares its own
+        // fast states in `adopt`.
+        e.fast.set(Actions::empty());
+    }
+
+    fn adopt(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
     }
 }
 

@@ -69,6 +69,27 @@ impl PipelinedWrite {
             self.fetch(rt, e);
         }
     }
+
+    /// Recompute the entry's fast mask. `end_read` is an unconditional
+    /// no-op. Starts are no-ops once a copy is resident (and, for writes,
+    /// the twin snapshot exists — the home writes the master directly and
+    /// never twins). A remote `end_write` always ships a delta home, so it
+    /// is only ever fast at home.
+    fn refresh_fast(&self, rt: &AceRt, e: &RegionEntry) {
+        let mut fast = Actions::END_READ;
+        if e.is_home_of(rt.rank()) {
+            fast = fast
+                .union(Actions::START_READ)
+                .union(Actions::START_WRITE)
+                .union(Actions::END_WRITE);
+        } else if e.st.get() != R_INVALID {
+            fast = fast.union(Actions::START_READ);
+            if e.twin.borrow().is_some() {
+                fast = fast.union(Actions::START_WRITE);
+            }
+        }
+        e.fast.set(fast);
+    }
 }
 
 impl Protocol for PipelinedWrite {
@@ -88,8 +109,17 @@ impl Protocol for PipelinedWrite {
         Actions::END_READ.union(Actions::UNMAP)
     }
 
+    fn on_create(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
+    fn on_map(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
     fn start_read(&self, rt: &AceRt, e: &RegionEntry) {
         self.ensure_copy(rt, e);
+        self.refresh_fast(rt, e);
     }
 
     fn end_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
@@ -99,6 +129,7 @@ impl Protocol for PipelinedWrite {
         if !e.is_home_of(rt.rank()) && e.twin.borrow().is_none() {
             *e.twin.borrow_mut() = Some(e.clone_data());
         }
+        self.refresh_fast(rt, e);
     }
 
     fn end_write(&self, rt: &AceRt, e: &RegionEntry) {
@@ -132,6 +163,7 @@ impl Protocol for PipelinedWrite {
             if !e.is_home_of(rt.rank()) {
                 e.st.set(R_INVALID);
                 *e.twin.borrow_mut() = None;
+                self.refresh_fast(rt, &e);
             }
         }
         rt.space_barrier(s);
@@ -166,6 +198,7 @@ impl Protocol for PipelinedWrite {
             }
             other => panic!("Pipelined: unknown opcode {other}"),
         }
+        self.refresh_fast(rt, e);
     }
 
     fn flush(&self, rt: &AceRt, e: &RegionEntry) {
@@ -176,6 +209,13 @@ impl Protocol for PipelinedWrite {
             *e.twin.borrow_mut() = None;
         }
         e.aux.set(0);
+        // Hand the region to the next protocol slow; it declares its own
+        // fast states in `adopt`.
+        e.fast.set(Actions::empty());
+    }
+
+    fn adopt(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
     }
 }
 

@@ -14,7 +14,7 @@
 //! which is how region-based DSMs reconcile handler asynchrony with
 //! section semantics).
 
-use ace_core::{AceRt, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
 
 use crate::auxbits::{self, BUSY, INV_PENDING, RECALL_PENDING, WANTED};
 use crate::states::*;
@@ -152,6 +152,42 @@ impl SeqInvalidate {
         e.st.set(R_INVALID);
         rt.send_proto(e.id.home(), e.id, op::WB_DATA, 0, Some(e.clone_data()));
     }
+
+    /// Recompute the entry's fast mask from its current state. Called at
+    /// the end of every hook and handler, so the mask is always a pure
+    /// function of directory/cache state. Invariant: a set bit means the
+    /// corresponding hook, run right now, would send nothing and mutate
+    /// nothing — so the runtime may skip it (CRL's in-cache fast path).
+    fn refresh_fast(&self, rt: &AceRt, e: &RegionEntry) {
+        let mut fast = Actions::empty();
+        if e.is_home_of(rt.rank()) {
+            // Home start hooks are no-ops while the master is valid here
+            // and no directory round is in flight; start_write further
+            // needs an empty sharer list (no invalidation sweep).
+            if e.owner.get() == -1 && !Self::has_bit(e, BUSY) {
+                fast = fast.union(Actions::START_READ);
+                if e.sharers.get() == 0 {
+                    fast = fast.union(Actions::START_WRITE);
+                }
+            }
+            // Home end hooks only replay parked requests.
+            if e.blocked.borrow().is_empty() {
+                fast = fast.union(Actions::END_READ).union(Actions::END_WRITE);
+            }
+        } else {
+            // Remote start hooks hit while a valid copy is cached.
+            match e.st.get() {
+                R_SHARED => fast = fast.union(Actions::START_READ),
+                R_EXCL => fast = fast.union(Actions::START_READ).union(Actions::START_WRITE),
+                _ => {}
+            }
+            // Remote end hooks only honour deferred directory actions.
+            if !Self::has_bit(e, INV_PENDING) && !Self::has_bit(e, RECALL_PENDING) {
+                fast = fast.union(Actions::END_READ).union(Actions::END_WRITE);
+            }
+        }
+        e.fast.set(fast);
+    }
 }
 
 impl Protocol for SeqInvalidate {
@@ -168,7 +204,58 @@ impl Protocol for SeqInvalidate {
         false
     }
 
+    fn on_create(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
+    fn on_map(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
+    fn adopt(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
     fn start_read(&self, rt: &AceRt, e: &RegionEntry) {
+        self.slow_start_read(rt, e);
+        self.refresh_fast(rt, e);
+    }
+
+    fn end_read(&self, rt: &AceRt, e: &RegionEntry) {
+        self.slow_end_read(rt, e);
+        self.refresh_fast(rt, e);
+    }
+
+    fn start_write(&self, rt: &AceRt, e: &RegionEntry) {
+        self.slow_start_write(rt, e);
+        self.refresh_fast(rt, e);
+    }
+
+    fn end_write(&self, rt: &AceRt, e: &RegionEntry) {
+        // Exclusive copies are retained until recalled; only honour
+        // deferred directory actions.
+        self.slow_end_read(rt, e);
+        self.refresh_fast(rt, e);
+    }
+
+    fn handle(&self, rt: &AceRt, e: &RegionEntry, msg: ProtoMsg, src: usize) {
+        self.handle_msg(rt, e, msg, src);
+        self.refresh_fast(rt, e);
+    }
+
+    fn flush(&self, rt: &AceRt, e: &RegionEntry) {
+        self.slow_flush(rt, e);
+        // Hand the region to the next protocol slow: the adopting
+        // protocol declares its own fast states in `adopt`.
+        e.fast.set(Actions::empty());
+    }
+}
+
+/// Slow-path hook bodies (run when the fast mask misses) and the wire
+/// handler, split from the trait impl so each public hook pairs its body
+/// with a fast-mask refresh.
+impl SeqInvalidate {
+    fn slow_start_read(&self, rt: &AceRt, e: &RegionEntry) {
         if e.is_home_of(rt.rank()) {
             if e.owner.get() != -1 || Self::has_bit(e, BUSY) {
                 rt.counters_mut(|c| c.read_misses += 1);
@@ -190,7 +277,7 @@ impl Protocol for SeqInvalidate {
         }
     }
 
-    fn end_read(&self, rt: &AceRt, e: &RegionEntry) {
+    fn slow_end_read(&self, rt: &AceRt, e: &RegionEntry) {
         if e.is_home_of(rt.rank()) {
             if !e.busy() && !Self::has_bit(e, BUSY) && !e.blocked.borrow().is_empty() {
                 self.drain_blocked(rt, e);
@@ -207,7 +294,7 @@ impl Protocol for SeqInvalidate {
         }
     }
 
-    fn start_write(&self, rt: &AceRt, e: &RegionEntry) {
+    fn slow_start_write(&self, rt: &AceRt, e: &RegionEntry) {
         if e.is_home_of(rt.rank()) {
             if e.owner.get() != -1 || Self::has_bit(e, BUSY) || e.sharers.get() != 0 {
                 rt.counters_mut(|c| c.write_misses += 1);
@@ -238,13 +325,7 @@ impl Protocol for SeqInvalidate {
         }
     }
 
-    fn end_write(&self, rt: &AceRt, e: &RegionEntry) {
-        // Exclusive copies are retained until recalled; only honour
-        // deferred directory actions.
-        self.end_read(rt, e);
-    }
-
-    fn handle(&self, rt: &AceRt, e: &RegionEntry, msg: ProtoMsg, _src: usize) {
+    fn handle_msg(&self, rt: &AceRt, e: &RegionEntry, msg: ProtoMsg, _src: usize) {
         let from = msg.from as usize;
         match msg.op {
             // ---------------- home side ----------------
@@ -336,7 +417,7 @@ impl Protocol for SeqInvalidate {
         }
     }
 
-    fn flush(&self, rt: &AceRt, e: &RegionEntry) {
+    fn slow_flush(&self, rt: &AceRt, e: &RegionEntry) {
         const FLUSH_WAIT: u64 = 1 << 8;
         if e.is_home_of(rt.rank()) {
             // Remote copies flush themselves; the change_protocol barrier

@@ -64,6 +64,18 @@ impl StaticUpdate {
         rt.wait("static-update subscription", || e.st.get() == R_SHARED);
         e.aux.set(e.aux.get() | SUBSCRIBED);
     }
+
+    /// Recompute the entry's fast mask. Read hooks are unconditional
+    /// no-ops; `start_write` only debug-asserts home-ness, so it is fast
+    /// at home (and deliberately slow remotely, keeping the assert live);
+    /// `end_write` marks the region dirty, so it is never fast.
+    fn refresh_fast(&self, rt: &AceRt, e: &RegionEntry) {
+        let mut fast = Actions::START_READ.union(Actions::END_READ);
+        if e.is_home_of(rt.rank()) {
+            fast = fast.union(Actions::START_WRITE);
+        }
+        e.fast.set(fast);
+    }
 }
 
 impl Protocol for StaticUpdate {
@@ -89,10 +101,15 @@ impl Protocol for StaticUpdate {
             .union(Actions::UNMAP)
     }
 
+    fn on_create(&self, rt: &AceRt, e: &RegionEntry) {
+        self.refresh_fast(rt, e);
+    }
+
     fn on_map(&self, rt: &AceRt, e: &RegionEntry) {
         if !e.is_home_of(rt.rank()) && e.st.get() == R_INVALID {
             self.subscribe(rt, e);
         }
+        self.refresh_fast(rt, e);
     }
 
     fn start_read(&self, _rt: &AceRt, _e: &RegionEntry) {
@@ -193,6 +210,9 @@ impl Protocol for StaticUpdate {
     }
 
     fn flush(&self, rt: &AceRt, e: &RegionEntry) {
+        // Hand the region to the next protocol slow; it declares its own
+        // fast states in `adopt`.
+        e.fast.set(Actions::empty());
         if e.is_home_of(rt.rank()) {
             return;
         }
@@ -209,6 +229,7 @@ impl Protocol for StaticUpdate {
         if !e.is_home_of(rt.rank()) && e.mapped.get() > 0 {
             self.subscribe(rt, e);
         }
+        self.refresh_fast(rt, e);
     }
 }
 

@@ -77,6 +77,11 @@ pub struct TraceSummary {
     pub events: u64,
     /// Total events dropped to ring overflow.
     pub dropped: u64,
+    /// Access annotations absorbed by the per-region fast mask. These
+    /// never open a hook span (that is the point of the fast path), so
+    /// they cannot be derived from events — callers supply the count
+    /// from the run's `OpCounters` via [`TraceSummary::with_fast_hits`].
+    pub fast_hits: u64,
 }
 
 impl MachineTrace {
@@ -150,7 +155,7 @@ impl MachineTrace {
         let mut tags: Vec<TagRow> =
             tags.into_iter().map(|(tag, (msgs, bytes))| TagRow { tag, msgs, bytes }).collect();
         tags.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.tag.cmp(b.tag)));
-        TraceSummary { hooks, tags, events: self.event_count() as u64, dropped }
+        TraceSummary { hooks, tags, events: self.event_count() as u64, dropped, fast_hits: 0 }
     }
 
     /// Nodes whose trace ends inside a poll loop, with the hook and
@@ -219,10 +224,20 @@ impl MachineTrace {
 }
 
 impl TraceSummary {
+    /// Attach the run's fast-hit count (from `OpCounters`) so the render
+    /// shows how many annotations the fast mask absorbed.
+    pub fn with_fast_hits(mut self, hits: u64) -> Self {
+        self.fast_hits = hits;
+        self
+    }
+
     /// Render the summary as a fixed-width text table.
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "trace: {} events ({} dropped)", self.events, self.dropped);
+        if self.fast_hits > 0 {
+            let _ = writeln!(s, "fast-path hits: {} (absorbed before dispatch)", self.fast_hits);
+        }
         if !self.hooks.is_empty() {
             let _ =
                 writeln!(s, "{:<16} {:<14} {:>10} {:>14}", "protocol", "hook", "count", "time(ns)");
