@@ -17,8 +17,11 @@ pub struct RunOutcome {
     pub sim_ns: u64,
     /// Wall-clock duration of the simulation.
     pub wall: Duration,
-    /// Total messages across all nodes.
+    /// Total logical messages across all nodes (one per `send` call).
     pub msgs: u64,
+    /// Total wire envelopes across all nodes; `<= msgs`, with the gap
+    /// being the sends that coalescing batched into shared envelopes.
+    pub wire_msgs: u64,
     /// Total payload bytes across all nodes.
     pub bytes: u64,
     /// Machine-wide aggregated operation counters.
@@ -87,6 +90,7 @@ fn collect(r: ace_core::SpmdResult<(f64, OpCounters)>) -> RunOutcome {
         sim_ns: r.sim_ns,
         wall: r.wall,
         msgs: r.stats.total_msgs(),
+        wire_msgs: r.stats.total_wire_msgs(),
         bytes: r.stats.total_bytes(),
         counters,
         trace: r.trace,
@@ -122,7 +126,9 @@ mod tests {
             1.0
         });
         let trace = out.trace.expect("trace requested");
-        assert_eq!(trace.send_count(), out.msgs);
+        assert_eq!(trace.send_count(), out.wire_msgs, "one Send event per wire envelope");
+        assert_eq!(trace.logical_send_count(), out.msgs);
+        assert!(out.wire_msgs <= out.msgs);
         assert!(trace.event_count() > 0);
     }
 }

@@ -75,6 +75,7 @@ fn spmd_stats<T>(r: &ace_core::SpmdResult<T>) -> VariantStats {
         sim_ns: r.sim_ns,
         wall_ns: r.wall.as_nanos() as u64,
         msgs: r.stats.total_msgs(),
+        wire_msgs: r.stats.total_wire_msgs(),
         bytes: r.stats.total_bytes(),
     }
 }

@@ -43,10 +43,16 @@ fn main() {
     assert_eq!(check.tracks, procs as u64, "one track per node");
     assert_eq!(
         trace.send_count(),
-        out.msgs,
-        "trace Send events must match machine send statistics"
+        out.wire_msgs,
+        "one trace Send event per wire envelope the machine counted"
     );
-    assert_eq!(check.flow_starts, out.msgs, "one flow arrow start per message sent");
+    assert_eq!(
+        trace.logical_send_count(),
+        out.msgs,
+        "trace sub-message counts must cover every logical send"
+    );
+    assert!(out.wire_msgs <= out.msgs, "coalescing can only merge envelopes");
+    assert_eq!(check.flow_starts, out.wire_msgs, "one flow arrow start per wire envelope");
     assert_eq!(
         check.flow_starts, check.flows_matched,
         "every flow start must pair with a flow finish"
@@ -59,5 +65,8 @@ fn main() {
         );
         assert_eq!(n.dropped, 0, "node {} dropped trace events (ring too small)", n.rank);
     }
-    println!("tracecheck passed: {} messages, {} procs", out.msgs, procs);
+    println!(
+        "tracecheck passed: {} logical messages in {} wire envelopes, {} procs",
+        out.msgs, out.wire_msgs, procs
+    );
 }

@@ -81,26 +81,60 @@ pub fn run_ace_app(app: &str, scale: Scale, v: Variant, nprocs: usize) -> RunOut
 /// Run one benchmark on the Ace runtime on a fully-configured machine
 /// (tracing, watchdog, ...).
 pub fn run_ace_app_on(app: &str, scale: Scale, v: Variant, builder: MachineBuilder) -> RunOutcome {
+    run_ace_app_coalesce(app, scale, v, builder, true)
+}
+
+/// Run one benchmark on the Ace runtime with the coalescing transport
+/// forced on or off (`AceRt::set_coalescing`). The `-nocoal`
+/// configurations in the figure tables come through here; everything else
+/// uses the runtime default (on).
+pub fn run_ace_app_coalesce(
+    app: &str,
+    scale: Scale,
+    v: Variant,
+    builder: MachineBuilder,
+    coalesce: bool,
+) -> RunOutcome {
+    let pre = move |d: &ace_apps::AceDsm| {
+        if !coalesce {
+            d.rt().set_coalescing(false);
+        }
+    };
     match app {
         "em3d" => {
             let p = em3d_params(scale);
-            launch_ace_with(builder, move |d| em3d::run(d, &p, v))
+            launch_ace_with(builder, move |d| {
+                pre(d);
+                em3d::run(d, &p, v)
+            })
         }
         "barnes" => {
             let p = barnes_params(scale);
-            launch_ace_with(builder, move |d| barnes::run(d, &p, v))
+            launch_ace_with(builder, move |d| {
+                pre(d);
+                barnes::run(d, &p, v)
+            })
         }
         "bsc" => {
             let p = bsc_params(scale);
-            launch_ace_with(builder, move |d| bsc::run(d, &p, v))
+            launch_ace_with(builder, move |d| {
+                pre(d);
+                bsc::run(d, &p, v)
+            })
         }
         "tsp" => {
             let p = tsp_params(scale);
-            launch_ace_with(builder, move |d| tsp::run(d, &p, v))
+            launch_ace_with(builder, move |d| {
+                pre(d);
+                tsp::run(d, &p, v)
+            })
         }
         "water" => {
             let p = water_params(scale);
-            launch_ace_with(builder, move |d| water::run(d, &p, v))
+            launch_ace_with(builder, move |d| {
+                pre(d);
+                water::run(d, &p, v)
+            })
         }
         other => panic!("unknown app {other}"),
     }
@@ -153,8 +187,9 @@ pub fn write_trace(
     std::fs::write(path, trace.to_chrome_json())?;
     println!("\n== trace: {app} ({nprocs} procs) -> {} ==", path.display());
     println!(
-        "{} events, {} messages; open the file in https://ui.perfetto.dev",
+        "{} events, {} logical messages in {} wire envelopes; open the file in https://ui.perfetto.dev",
         trace.event_count(),
+        trace.logical_send_count(),
         trace.send_count()
     );
     print!("{}", trace.summary().with_fast_hits(out.counters.fast_hits).render());
@@ -162,17 +197,23 @@ pub fn write_trace(
 }
 
 /// Accounting summary of one benchmark configuration over `runs`
-/// repetitions. Simulated time and message/byte counts are deterministic
+/// repetitions. Logical message and byte counts are deterministic
 /// (identical across repetitions); wall-clock keeps the minimum, the
-/// usual low-noise estimator for perf tracking.
+/// usual low-noise estimator for perf tracking. Simulated time and the
+/// wire-envelope count carry a little run-to-run jitter (which messages
+/// share a coalesced envelope rides on wall-clock arrival order inside
+/// waits), so both report the last repetition.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VariantStats {
     /// Simulated completion time, ns.
     pub sim_ns: u64,
     /// Best wall-clock duration over the repetitions, ns.
     pub wall_ns: u64,
-    /// Total messages across all nodes.
+    /// Total logical messages across all nodes.
     pub msgs: u64,
+    /// Total wire envelopes across all nodes (`<= msgs`; the gap is what
+    /// coalescing saved).
+    pub wire_msgs: u64,
     /// Total payload bytes across all nodes.
     pub bytes: u64,
 }
@@ -190,6 +231,7 @@ fn averaged(mut run: impl FnMut() -> RunOutcome, runs: usize) -> VariantStats {
         let r = run();
         out.sim_ns = r.sim_ns;
         out.msgs = r.msgs;
+        out.wire_msgs = r.wire_msgs;
         out.bytes = r.bytes;
         out.wall_ns = out.wall_ns.min(r.wall.as_nanos() as u64);
     }
@@ -231,7 +273,9 @@ pub fn fig7a(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7aRow> {
         .collect()
 }
 
-/// One row of Figure 7b: SC vs application-specific protocols in Ace.
+/// One row of Figure 7b: SC vs application-specific protocols in Ace,
+/// each also run with the coalescing transport disabled so the tables
+/// (and CI) can attribute how much of the win is message batching.
 pub struct Fig7bRow {
     /// Benchmark name.
     pub app: String,
@@ -245,14 +289,23 @@ pub struct Fig7bRow {
     pub sc: VariantStats,
     /// Full accounting for the custom-protocol run.
     pub custom: VariantStats,
+    /// SC with `set_coalescing(false)`.
+    pub sc_nocoal: VariantStats,
+    /// Custom protocols with `set_coalescing(false)`.
+    pub custom_nocoal: VariantStats,
 }
 
 /// Compute Figure 7b.
 pub fn fig7b(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7bRow> {
     APPS.iter()
         .map(|app| {
-            let sc = averaged(|| run_ace_app(app, scale, Variant::Sc, nprocs), runs);
-            let cu = averaged(|| run_ace_app(app, scale, Variant::Custom, nprocs), runs);
+            let coal = |v, on| {
+                averaged(|| run_ace_app_coalesce(app, scale, v, fig_machine(nprocs), on), runs)
+            };
+            let sc = coal(Variant::Sc, true);
+            let cu = coal(Variant::Custom, true);
+            let sc_nocoal = coal(Variant::Sc, false);
+            let custom_nocoal = coal(Variant::Custom, false);
             Fig7bRow {
                 app: app.to_string(),
                 sc_ms: sc.sim_ms(),
@@ -260,6 +313,8 @@ pub fn fig7b(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7bRow> {
                 speedup: sc.sim_ms() / cu.sim_ms(),
                 sc,
                 custom: cu,
+                sc_nocoal,
+                custom_nocoal,
             }
         })
         .collect()

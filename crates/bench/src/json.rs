@@ -3,8 +3,9 @@
 //! Each harness binary accepts `--json <path>` and appends one row per
 //! (app, configuration) pair so successive PRs can track the perf
 //! trajectory as `BENCH_*.json` files. The format is a plain JSON array
-//! of flat objects — simulated ns, wall ns, message count, payload bytes
-//! — written by hand because the workspace builds offline (no serde).
+//! of flat objects — simulated ns, wall ns, logical message count, wire-envelope count,
+//! payload bytes — written by hand because the workspace builds offline
+//! (no serde).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -53,13 +54,14 @@ pub fn render(rows: &[JsonRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "  {{\"table\":\"{}\",\"app\":\"{}\",\"config\":\"{}\",\"sim_ns\":{},\"wall_ns\":{},\"msgs\":{},\"bytes\":{}}}",
+            "  {{\"table\":\"{}\",\"app\":\"{}\",\"config\":\"{}\",\"sim_ns\":{},\"wall_ns\":{},\"msgs\":{},\"wire_msgs\":{},\"bytes\":{}}}",
             escape(r.table),
             escape(&r.app),
             escape(r.config),
             r.stats.sim_ns,
             r.stats.wall_ns,
             r.stats.msgs,
+            r.stats.wire_msgs,
             r.stats.bytes,
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -96,13 +98,14 @@ mod tests {
                 "fig7b",
                 "em3d",
                 "sc",
-                VariantStats { sim_ns: 10, wall_ns: 20, msgs: 3, bytes: 4 },
+                VariantStats { sim_ns: 10, wall_ns: 20, msgs: 3, wire_msgs: 2, bytes: 4 },
             ),
             JsonRow::new("fig7b", "em3d", "custom", VariantStats::default()),
         ];
         let s = render(&rows);
         assert!(s.starts_with("[\n"));
         assert!(s.contains("\"sim_ns\":10"));
+        assert!(s.contains("\"msgs\":3,\"wire_msgs\":2"));
         assert!(s.contains("\"config\":\"custom\""));
         assert_eq!(s.matches('{').count(), 2);
     }

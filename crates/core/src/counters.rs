@@ -41,6 +41,12 @@ pub struct OpCounters {
     pub region_cache_hits: u64,
     /// Region lookups that fell through to the hash table.
     pub region_cache_misses: u64,
+    /// Logical messages this node sent (one per `send` call), folded in
+    /// from the substrate's [`ace_machine::NodeStats`] by `AceRt::counters`.
+    pub logical_msgs: u64,
+    /// Wire envelopes this node sent; `<= logical_msgs`, with the gap
+    /// being the sends that coalescing batched into shared envelopes.
+    pub wire_msgs: u64,
 }
 
 impl OpCounters {
@@ -73,6 +79,8 @@ impl OpCounters {
         self.fast_hits += o.fast_hits;
         self.region_cache_hits += o.region_cache_hits;
         self.region_cache_misses += o.region_cache_misses;
+        self.logical_msgs += o.logical_msgs;
+        self.wire_msgs += o.wire_msgs;
     }
 
     /// Fraction of region lookups absorbed by the inline cache, or `None`

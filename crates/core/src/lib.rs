@@ -36,8 +36,9 @@ pub mod space;
 
 pub use ace_machine::pod::{self, Pod};
 pub use ace_machine::{
-    validate_chrome_trace, ChromeCheck, CostModel, Envelope, EventKind, Hook, MachineBuilder,
-    MachineTrace, Node, NodeTrace, Spmd, SpmdResult, TraceConfig, TraceEvent, TraceSummary,
+    validate_chrome_trace, ChromeCheck, CoalescePolicy, CostModel, Envelope, EventKind, Hook,
+    MachineBuilder, MachineTrace, Node, NodeTrace, Spmd, SpmdResult, TraceConfig, TraceEvent,
+    TraceSummary,
 };
 pub use counters::OpCounters;
 pub use error::AceError;
@@ -45,7 +46,7 @@ pub use ids::{RegionId, SpaceId};
 pub use msg::{AceMsg, ProtoMsg};
 pub use protocol::{Actions, Protocol};
 pub use region::RegionEntry;
-pub use rt::AceRt;
+pub use rt::{AceRt, DEFAULT_COALESCE};
 pub use space::SpaceEntry;
 
 /// Run an SPMD Ace program on `nprocs` simulated processors.

@@ -6,7 +6,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use ace_machine::pod::{self, Pod};
-use ace_machine::{Envelope, EventKind, Hook, Node};
+use ace_machine::{CoalescePolicy, Envelope, EventKind, Hook, Node};
 
 use crate::counters::OpCounters;
 use crate::error::AceError;
@@ -19,6 +19,12 @@ use crate::space::SpaceEntry;
 /// Barrier tag reserved for the machine-wide barrier (space barriers use
 /// the space id).
 const GLOBAL_BAR_TAG: u32 = u32::MAX;
+
+/// The coalescing policy [`AceRt::new`] installs. Threshold-8 bounds how
+/// long a logical message can linger in a buffer mid-phase (a full buffer
+/// goes out immediately) while still amortizing headers and latency
+/// across fan-out bursts; every blocking point flushes whatever is left.
+pub const DEFAULT_COALESCE: CoalescePolicy = CoalescePolicy::Threshold(8);
 
 /// Slots in the direct-mapped region-lookup cache. Fine-grained apps give
 /// every value its own region (EM3D: one word per graph node), so a
@@ -84,7 +90,7 @@ pub struct AceRt<'n> {
 impl<'n> AceRt<'n> {
     /// Wrap a substrate node in a fresh runtime.
     pub fn new(node: &'n Node<AceMsg>) -> Self {
-        AceRt {
+        let rt = AceRt {
             node,
             regions: RefCell::new(HashMap::new()),
             region_cache: RefCell::new(vec![(REGION_CACHE_EMPTY, None); REGION_CACHE_SLOTS]),
@@ -103,7 +109,15 @@ impl<'n> AceRt<'n> {
             counters: RefCell::new(OpCounters::default()),
             last_hook: Cell::new("none"),
             fast_enabled: Cell::new(true),
-        }
+        };
+        // Coalescing is on by default at the runtime layer (like the fast
+        // paths): protocol fan-out — update pushes, invalidation rounds —
+        // is exactly the traffic batching amortizes. Every runtime
+        // blocking point funnels through `Node::poll_until`, which flushes
+        // on entry and after each handled message, so the policy is safe
+        // for arbitrary protocol code.
+        rt.node.set_coalesce(DEFAULT_COALESCE);
+        rt
     }
 
     /// Enable or disable the per-region fast paths ([`RegionEntry::fast`]).
@@ -118,6 +132,21 @@ impl<'n> AceRt<'n> {
     /// Whether the per-region fast paths are currently enabled.
     pub fn fast_paths_enabled(&self) -> bool {
         self.fast_enabled.get()
+    }
+
+    /// Enable or disable per-destination send coalescing (the second
+    /// escape hatch, mirroring [`AceRt::set_fast_paths`]). On by default
+    /// with [`DEFAULT_COALESCE`]; switching flushes anything buffered, so
+    /// no message straddles the change. Turning it off restores one wire
+    /// envelope per logical message — bit-identical to the pre-coalescing
+    /// runtime — for A/B measurement.
+    pub fn set_coalescing(&self, on: bool) {
+        self.node.set_coalesce(if on { DEFAULT_COALESCE } else { CoalescePolicy::Off });
+    }
+
+    /// Whether send coalescing is currently enabled.
+    pub fn coalescing_enabled(&self) -> bool {
+        self.node.coalesce_policy() != CoalescePolicy::Off
     }
 
     /// The last annotation hook entered on this node (see `last_hook`).
@@ -269,11 +298,15 @@ impl<'n> AceRt<'n> {
     }
 
     /// Snapshot of this node's operation counters. Region-cache hit/miss
-    /// totals (kept in `Cell`s on the runtime) are folded in here.
+    /// totals (kept in `Cell`s on the runtime) and the node's logical/wire
+    /// message split (kept by the substrate) are folded in here.
     pub fn counters(&self) -> OpCounters {
         let mut c = self.counters.borrow().clone();
         c.region_cache_hits += self.rc_hits.get();
         c.region_cache_misses += self.rc_misses.get();
+        let s = self.node.stats();
+        c.logical_msgs += s.logical_msgs;
+        c.wire_msgs += s.wire_msgs;
         c
     }
 
@@ -325,10 +358,14 @@ impl<'n> AceRt<'n> {
     }
 
     /// Drain any messages that are already queued, without blocking.
+    /// Flushes this node's coalescing buffers afterwards so replies the
+    /// drained handlers generated (and anything the app had buffered)
+    /// reach their destinations even though this poll never blocks.
     pub fn poll(&self) {
         while let Some(env) = self.node.try_recv() {
             self.dispatch(env);
         }
+        self.node.flush_coalesced();
     }
 
     fn dispatch(&self, env: Envelope<AceMsg>) {

@@ -42,6 +42,13 @@ pub struct CostModel {
     pub flop: u64,
     /// One local memory access issued by application code.
     pub mem: u64,
+    /// CPU cost of appending one logical sub-message to a coalescing
+    /// buffer (a bounds check, a length update, a pointer store). Paid
+    /// per sub-message when [`crate::CoalescePolicy`] batches sends; the
+    /// amortized win is that the batch pays `msg_latency`, `send_overhead`
+    /// and header bytes once per *wire* envelope instead of once per
+    /// logical message.
+    pub pack_cost: u64,
     /// Extra CPU cost CRL pays per map for its unmapped-region cache scan
     /// and second-level table probe (CRL 1.0's mapping design; the paper
     /// credits Ace's speedups on fine-grained apps to a leaner scheme).
@@ -63,6 +70,7 @@ impl CostModel {
             proto_action: 1_500,
             flop: 120,
             mem: 60,
+            pack_cost: 300,
             crl_map_extra: 1_800,
         }
     }
@@ -82,6 +90,7 @@ impl CostModel {
             proto_action: 0,
             flop: 0,
             mem: 0,
+            pack_cost: 0,
             crl_map_extra: 0,
         }
     }
@@ -132,6 +141,16 @@ mod tests {
         assert!(c.fast_path > 0);
         assert!(c.fast_path < c.direct_call);
         assert!(c.direct_call < c.dispatch);
+    }
+
+    #[test]
+    fn packing_is_cheaper_than_sending() {
+        // Coalescing only pays off if appending a sub-message costs less
+        // than injecting a fresh wire message.
+        let c = CostModel::cm5();
+        assert!(c.pack_cost > 0);
+        assert!(c.pack_cost < c.send_overhead);
+        assert!(c.pack_cost < c.msg_latency);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 ///
 /// Implemented by each runtime's message type. `size_bytes` should return
 /// the number of payload bytes the message would occupy on a real wire;
-/// the substrate adds [`HEADER_BYTES`] for the active-message header.
+/// the substrate adds [`HEADER_BYTES`] per *wire* envelope for the
+/// active-message header. Zero-copy payloads (e.g. `Arc<[u64]>`) must
+/// report the full payload size, not the size of the handle: sharing a
+/// buffer saves host memory, never simulated bandwidth.
 pub trait MsgSize {
     /// Payload size in bytes (excluding the fixed header).
     fn size_bytes(&self) -> usize;
@@ -18,7 +21,9 @@ pub trait MsgSize {
 }
 
 /// Fixed per-message header charge: handler id, source, region id, opcode —
-/// roughly what a CM-5 active message packet carried.
+/// roughly what a CM-5 active message packet carried. Charged once per
+/// *wire* envelope: a coalesced batch of logical messages pays it once,
+/// which is exactly the headers-saved win of coalescing.
 pub const HEADER_BYTES: usize = 20;
 
 /// A message in flight, stamped with the sender's identity and virtual
@@ -27,10 +32,15 @@ pub const HEADER_BYTES: usize = 20;
 pub struct Envelope<M> {
     /// Sending node's rank.
     pub src: usize,
-    /// Sender's virtual clock when the message was injected.
+    /// Sender's virtual clock when the message was injected (for a
+    /// coalesced batch: when its wire envelope was flushed).
     pub send_time: u64,
-    /// Payload bytes, captured at send time (so the receiver does not need
-    /// to re-measure the payload).
+    /// Wire bytes — payload plus [`HEADER_BYTES`] — captured at send time
+    /// by calling [`MsgSize::size_bytes`] once, so the receiver never
+    /// re-measures the payload and both ends charge identical bytes.
+    /// For a sub-message delivered out of a coalesced batch this is the
+    /// sub-message's own payload (headerless except on the batch's first
+    /// part); see `Node::send` for the charging rules.
     pub bytes: usize,
     /// The message itself.
     pub msg: M,
@@ -54,14 +64,31 @@ impl MsgSize for Vec<u64> {
     }
 }
 
+impl MsgSize for std::sync::Arc<[u64]> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn builtin_sizes() {
         assert_eq!(().size_bytes(), 0);
         assert_eq!(7u64.size_bytes(), 8);
         assert_eq!(vec![1u64, 2, 3].size_bytes(), 24);
+    }
+
+    #[test]
+    fn shared_payload_sizes_match_owned() {
+        // A zero-copy handle charges the same bytes as the owned buffer it
+        // wraps: refcount bumps save host memory, not simulated bandwidth.
+        let owned = vec![1u64, 2, 3, 4];
+        let shared: Arc<[u64]> = owned.clone().into();
+        assert_eq!(shared.size_bytes(), owned.size_bytes());
+        assert_eq!(Arc::clone(&shared).size_bytes(), 32);
     }
 }

@@ -24,12 +24,40 @@ pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 /// cannot starve the caller's predicate checks.
 pub const DEFAULT_DRAIN_BATCH: usize = 64;
 
+/// When to flush a destination's coalescing buffer.
+///
+/// Under any policy other than `Off`, [`Node::send`] appends the logical
+/// message to a per-destination buffer instead of injecting a wire
+/// envelope. A buffered batch is charged one `msg_latency`, one
+/// [`HEADER_BYTES`] header and one `send_overhead` for the whole wire
+/// envelope, plus [`CostModel::pack_cost`] per sub-message — the
+/// amortization that makes fine-grained protocol fan-out cheap.
+///
+/// Liveness rule: every blocking point flushes. [`Node::poll_until`]
+/// flushes on entry and whenever a handled message leaves the local inbox
+/// empty, and [`Node::recv_timeout`] flushes before blocking on the
+/// channel, so no peer can deadlock waiting on a message its sender is
+/// still buffering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoalescePolicy {
+    /// Every logical send is its own wire envelope (legacy behaviour,
+    /// bit-identical to the pre-coalescing substrate).
+    #[default]
+    Off,
+    /// Flush a destination as soon as its buffer holds N sub-messages
+    /// (and at every blocking point).
+    Threshold(usize),
+    /// Buffer without bound; flush only at blocking points.
+    FlushOnWait,
+}
+
 /// Construction-time per-node knobs, fixed by the machine builder.
 #[derive(Debug, Clone)]
 pub(crate) struct NodeSetup {
     pub watchdog: Duration,
     pub drain_batch: usize,
     pub trace: TraceConfig,
+    pub coalesce: CoalescePolicy,
 }
 
 impl Default for NodeSetup {
@@ -38,8 +66,43 @@ impl Default for NodeSetup {
             watchdog: DEFAULT_WATCHDOG,
             drain_batch: DEFAULT_DRAIN_BATCH,
             trace: TraceConfig::off(),
+            coalesce: CoalescePolicy::Off,
         }
     }
+}
+
+/// What actually travels on a channel: either a plain envelope or a
+/// coalesced batch of logical messages bound for the same destination.
+/// The batch is the *wire* unit — it pays latency, header and overheads
+/// once; its parts are re-expanded into individual [`Envelope`]s on the
+/// receiving side so handlers never see batching.
+pub(crate) enum Wire<M> {
+    Single(Envelope<M>),
+    Batch {
+        src: usize,
+        send_time: u64,
+        /// Summed payload bytes of all parts plus one [`HEADER_BYTES`].
+        wire_bytes: usize,
+        /// `(msg, payload_bytes)` in send order.
+        parts: Vec<(M, usize)>,
+    },
+}
+
+/// An inbox entry: an envelope plus its precomputed arrival time and
+/// receive charge. Arrival is a pure function of the *wire* envelope
+/// (send time + flight time of the wire bytes), computed once when the
+/// wire message is expanded; the charge and trace event are applied when
+/// the entry is popped, preserving absorb-at-pop semantics.
+struct Inbound<M> {
+    env: Envelope<M>,
+    arrival: u64,
+    /// `recv_overhead` for a single or a batch's first part; `pack_cost`
+    /// (the unpack charge) for subsequent parts of the same batch.
+    charge: u64,
+    /// `Some((subs, wire_bytes))` on the entry that represents the wire
+    /// envelope itself (a single, or a batch's first part): pop emits one
+    /// Recv trace event so flow arrows stay one-per-wire-message.
+    wire: Option<(u32, u32)>,
 }
 
 /// One simulated processor.
@@ -50,20 +113,27 @@ impl Default for NodeSetup {
 pub struct Node<M> {
     rank: usize,
     nprocs: usize,
-    rx: Receiver<Envelope<M>>,
-    txs: Arc<Vec<Sender<Envelope<M>>>>,
+    rx: Receiver<Wire<M>>,
+    txs: Arc<Vec<Sender<Wire<M>>>>,
     cost: Arc<CostModel>,
     clock: Cell<u64>,
-    msgs_sent: Cell<u64>,
+    logical_sent: Cell<u64>,
+    wire_sent: Cell<u64>,
     bytes_sent: Cell<u64>,
+    wire_bytes_sent: Cell<u64>,
     msgs_recv: Cell<u64>,
     watchdog: Cell<Duration>,
     /// Local inbox filled by draining the channel in bursts. Messages are
     /// *not* absorbed on drain — [`Node::absorb`] runs when a message is
     /// popped for handling, so per-message virtual-clock semantics are
     /// identical to unbatched reception (same order, same arrival math).
-    inbox: RefCell<VecDeque<Envelope<M>>>,
+    inbox: RefCell<VecDeque<Inbound<M>>>,
     drain_batch: Cell<usize>,
+    /// Per-destination coalescing buffers; `pending` counts buffered
+    /// parts across all destinations so the common empty case is one load.
+    coalesce: Cell<CoalescePolicy>,
+    outbuf: RefCell<Vec<Vec<(M, usize)>>>,
+    pending: Cell<usize>,
     /// Structured event sink; a no-op unless the builder enabled tracing.
     sink: TraceSink,
     /// Rank of the first peer whose thread died by panic, or -1. Shared by
@@ -75,8 +145,8 @@ impl<M: MsgSize + Send> Node<M> {
     pub(crate) fn new(
         rank: usize,
         nprocs: usize,
-        rx: Receiver<Envelope<M>>,
-        txs: Arc<Vec<Sender<Envelope<M>>>>,
+        rx: Receiver<Wire<M>>,
+        txs: Arc<Vec<Sender<Wire<M>>>>,
         cost: Arc<CostModel>,
         failed: Arc<AtomicIsize>,
         setup: &NodeSetup,
@@ -89,12 +159,17 @@ impl<M: MsgSize + Send> Node<M> {
             txs,
             cost,
             clock: Cell::new(0),
-            msgs_sent: Cell::new(0),
+            logical_sent: Cell::new(0),
+            wire_sent: Cell::new(0),
             bytes_sent: Cell::new(0),
+            wire_bytes_sent: Cell::new(0),
             msgs_recv: Cell::new(0),
             watchdog: Cell::new(setup.watchdog),
             inbox: RefCell::new(VecDeque::new()),
             drain_batch: Cell::new(setup.drain_batch),
+            coalesce: Cell::new(setup.coalesce),
+            outbuf: RefCell::new((0..nprocs).map(|_| Vec::new()).collect()),
+            pending: Cell::new(0),
             sink: TraceSink::new(&setup.trace),
             failed,
         }
@@ -137,36 +212,190 @@ impl<M: MsgSize + Send> Node<M> {
         self.sink.enabled().then(|| self.sink.take(self.rank))
     }
 
-    /// Inject a message to `dst`. Charges send overhead and records stats.
-    /// Sending to self is allowed (the message is delivered via the normal
-    /// polling path, like a loopback active message).
+    /// The coalescing policy in effect.
+    pub fn coalesce_policy(&self) -> CoalescePolicy {
+        self.coalesce.get()
+    }
+
+    /// Number of logical messages currently buffered across destinations.
+    pub fn pending_coalesced(&self) -> usize {
+        self.pending.get()
+    }
+
+    /// Switch the coalescing policy, flushing anything already buffered
+    /// first so no message straddles a policy change.
+    pub fn set_coalesce(&self, policy: CoalescePolicy) {
+        self.flush_coalesced();
+        self.coalesce.set(policy);
+    }
+
+    /// Inject a message to `dst`. Under [`CoalescePolicy::Off`] this
+    /// charges send overhead and emits one wire envelope; otherwise the
+    /// message joins `dst`'s coalescing buffer (charging `pack_cost`) and
+    /// goes out with the next flush. Sending to self is allowed (the
+    /// message is delivered via the normal polling path, like a loopback
+    /// active message).
     pub fn send(&self, dst: usize, msg: M) {
         debug_assert!(dst < self.nprocs, "send to nonexistent node {dst}");
+        match self.coalesce.get() {
+            CoalescePolicy::Off => {
+                self.charge(self.cost.send_overhead);
+                let bytes = msg.size_bytes() + HEADER_BYTES;
+                self.logical_sent.set(self.logical_sent.get() + 1);
+                self.wire_sent.set(self.wire_sent.get() + 1);
+                self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
+                self.wire_bytes_sent.set(self.wire_bytes_sent.get() + bytes as u64);
+                if self.sink.enabled() {
+                    let t = self.clock.get();
+                    self.sink.emit(
+                        t,
+                        EventKind::Pack { dst: dst as u16, tag: msg.tag(), bytes: bytes as u32 },
+                    );
+                    self.sink.emit(
+                        t,
+                        EventKind::Send {
+                            dst: dst as u16,
+                            tag: msg.tag(),
+                            bytes: bytes as u32,
+                            subs: 1,
+                        },
+                    );
+                }
+                let env = Envelope { src: self.rank, send_time: self.clock.get(), bytes, msg };
+                // A send can only fail if the destination thread already
+                // exited, which means the SPMD program violated its
+                // quiescence contract; losing the message is the faithful
+                // outcome (the wire goes dead).
+                let _ = self.txs[dst].send(Wire::Single(env));
+            }
+            policy => {
+                self.charge(self.cost.pack_cost);
+                let payload = msg.size_bytes();
+                // Logical accounting is policy-independent: the same
+                // per-message payload+header charge as `Off`, so apps see
+                // deterministic byte counts regardless of how messages
+                // end up grouped on the wire.
+                self.logical_sent.set(self.logical_sent.get() + 1);
+                self.bytes_sent.set(self.bytes_sent.get() + (payload + HEADER_BYTES) as u64);
+                if self.sink.enabled() {
+                    self.sink.emit(
+                        self.clock.get(),
+                        EventKind::Pack {
+                            dst: dst as u16,
+                            tag: msg.tag(),
+                            bytes: (payload + HEADER_BYTES) as u32,
+                        },
+                    );
+                }
+                let len = {
+                    let mut bufs = self.outbuf.borrow_mut();
+                    bufs[dst].push((msg, payload));
+                    bufs[dst].len()
+                };
+                self.pending.set(self.pending.get() + 1);
+                if let CoalescePolicy::Threshold(n) = policy {
+                    if len >= n.max(1) {
+                        self.flush_dst(dst);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush every destination's coalescing buffer, in rank order. A
+    /// no-op when nothing is buffered (the overwhelmingly common case at
+    /// blocking points). Called automatically by [`Node::poll_until`] on
+    /// entry and whenever a handled message empties the inbox, and by
+    /// [`Node::recv_timeout`] before blocking — together those make every
+    /// blocking point flush, the liveness rule coalescing relies on.
+    pub fn flush_coalesced(&self) {
+        if self.pending.get() == 0 {
+            return;
+        }
+        for dst in 0..self.nprocs {
+            self.flush_dst(dst);
+        }
+    }
+
+    /// Flush point after a handled message inside a poll loop: flush only
+    /// once the local inbox has drained. While already-delivered messages
+    /// remain queued the node cannot block, so holding the buffers open is
+    /// safe — and it lets the replies generated while draining one
+    /// coalesced batch (say, the acks for a train of update pushes) leave
+    /// as one wire envelope instead of one per handled message.
+    fn flush_after_handle(&self) {
+        if self.inbox.borrow().is_empty() {
+            self.flush_coalesced();
+        }
+    }
+
+    /// Flush one destination's buffer as a single wire envelope: one
+    /// `send_overhead`, one header, summed payload bytes.
+    fn flush_dst(&self, dst: usize) {
+        let parts = std::mem::take(&mut self.outbuf.borrow_mut()[dst]);
+        if parts.is_empty() {
+            return;
+        }
+        self.pending.set(self.pending.get() - parts.len());
         self.charge(self.cost.send_overhead);
-        let bytes = msg.size_bytes() + HEADER_BYTES;
-        self.msgs_sent.set(self.msgs_sent.get() + 1);
-        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
+        let wire_bytes = parts.iter().map(|&(_, b)| b).sum::<usize>() + HEADER_BYTES;
+        self.wire_sent.set(self.wire_sent.get() + 1);
+        self.wire_bytes_sent.set(self.wire_bytes_sent.get() + wire_bytes as u64);
         if self.sink.enabled() {
             self.sink.emit(
                 self.clock.get(),
-                EventKind::Send { dst: dst as u16, tag: msg.tag(), bytes: bytes as u32 },
+                EventKind::Send {
+                    dst: dst as u16,
+                    tag: parts[0].0.tag(),
+                    bytes: wire_bytes as u32,
+                    subs: parts.len() as u32,
+                },
             );
         }
-        let env = Envelope { src: self.rank, send_time: self.clock.get(), bytes, msg };
-        // A send can only fail if the destination thread already exited,
-        // which means the SPMD program violated its quiescence contract;
-        // losing the message is the faithful outcome (the wire goes dead).
-        let _ = self.txs[dst].send(env);
+        let wire = Wire::Batch { src: self.rank, send_time: self.clock.get(), wire_bytes, parts };
+        let _ = self.txs[dst].send(wire);
+    }
+
+    /// Expand one wire message into inbox entries. Arrival is computed
+    /// here — once per wire envelope, from its wire bytes — so a batch's
+    /// parts all become available at the same virtual instant, exactly
+    /// when the one wire message lands.
+    fn enqueue_wire(&self, w: Wire<M>, inbox: &mut VecDeque<Inbound<M>>) {
+        match w {
+            Wire::Single(env) => {
+                let arrival = env.send_time + self.cost.wire_time(env.bytes);
+                inbox.push_back(Inbound {
+                    arrival,
+                    charge: self.cost.recv_overhead,
+                    wire: Some((1, env.bytes as u32)),
+                    env,
+                });
+            }
+            Wire::Batch { src, send_time, wire_bytes, parts } => {
+                let arrival = send_time + self.cost.wire_time(wire_bytes);
+                let subs = parts.len() as u32;
+                for (i, (msg, payload)) in parts.into_iter().enumerate() {
+                    inbox.push_back(Inbound {
+                        env: Envelope { src, send_time, bytes: payload, msg },
+                        arrival,
+                        charge: if i == 0 { self.cost.recv_overhead } else { self.cost.pack_cost },
+                        wire: (i == 0).then_some((subs, wire_bytes as u32)),
+                    });
+                }
+            }
+        }
     }
 
     /// Pull a burst of messages off the channel into the local inbox,
     /// without absorbing them. Per-pair FIFO is preserved: the channel
-    /// delivers in send order per source and the inbox is a queue.
-    fn drain_burst(&self, inbox: &mut VecDeque<Envelope<M>>) {
+    /// delivers in send order per source and the inbox is a queue. A
+    /// coalesced batch counts as one pull but may expand past the burst
+    /// limit; the limit only bounds channel synchronization per burst.
+    fn drain_burst(&self, inbox: &mut VecDeque<Inbound<M>>) {
         let limit = self.drain_batch.get();
         while inbox.len() < limit {
             match self.rx.try_recv() {
-                Ok(env) => inbox.push_back(env),
+                Ok(w) => self.enqueue_wire(w, inbox),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => self.peer_exited("channel disconnected"),
             }
@@ -180,28 +409,36 @@ impl<M: MsgSize + Send> Node<M> {
         if inbox.is_empty() {
             self.drain_burst(&mut inbox);
         }
-        let env = inbox.pop_front()?;
+        let inb = inbox.pop_front()?;
         drop(inbox);
-        self.absorb(&env);
-        Some(env)
+        self.absorb(&inb);
+        Some(inb.env)
     }
 
     /// Blocking receive with a short timeout, for poll loops that should
-    /// yield the CPU while idle. Returns `None` on timeout.
+    /// yield the CPU while idle. Flushes this node's own coalescing
+    /// buffers before blocking (the liveness rule: never sleep on a
+    /// message a peer may be waiting to trigger). Returns `None` on
+    /// timeout.
     ///
     /// # Panics
     ///
     /// Panics if the channel is disconnected: every peer's thread has
     /// exited, so no message can ever arrive and waiting is futile.
     pub fn recv_timeout(&self, d: Duration) -> Option<Envelope<M>> {
-        if let Some(env) = self.inbox.borrow_mut().pop_front() {
-            self.absorb(&env);
-            return Some(env);
+        if let Some(inb) = self.inbox.borrow_mut().pop_front() {
+            self.absorb(&inb);
+            return Some(inb.env);
         }
+        self.flush_coalesced();
         match self.rx.recv_timeout(d) {
-            Ok(env) => {
-                self.absorb(&env);
-                Some(env)
+            Ok(w) => {
+                let mut inbox = self.inbox.borrow_mut();
+                self.enqueue_wire(w, &mut inbox);
+                let inb = inbox.pop_front().expect("wire expands to at least one message");
+                drop(inbox);
+                self.absorb(&inb);
+                Some(inb.env)
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
@@ -210,21 +447,23 @@ impl<M: MsgSize + Send> Node<M> {
         }
     }
 
-    fn absorb(&self, env: &Envelope<M>) {
-        let arrival = env.send_time + self.cost.wire_time(env.bytes);
-        let now = self.clock.get().max(arrival) + self.cost.recv_overhead;
+    fn absorb(&self, inb: &Inbound<M>) {
+        let now = self.clock.get().max(inb.arrival) + inb.charge;
         self.clock.set(now);
         self.msgs_recv.set(self.msgs_recv.get() + 1);
         if self.sink.enabled() {
-            self.sink.emit(
-                now,
-                EventKind::Recv {
-                    src: env.src as u16,
-                    tag: env.msg.tag(),
-                    bytes: env.bytes as u32,
-                    sent_at: env.send_time,
-                },
-            );
+            if let Some((subs, wire_bytes)) = inb.wire {
+                self.sink.emit(
+                    now,
+                    EventKind::Recv {
+                        src: inb.env.src as u16,
+                        tag: inb.env.msg.tag(),
+                        bytes: wire_bytes,
+                        sent_at: inb.env.send_time,
+                        subs,
+                    },
+                );
+            }
         }
     }
 
@@ -258,6 +497,15 @@ impl<M: MsgSize + Send> Node<M> {
     /// watchdog expires (a wedged protocol) or a peer's thread dies (a
     /// crashed protocol on the other side).
     ///
+    /// Coalescing liveness: the node's own buffers are flushed on entry —
+    /// before the wait can block on a reply this node itself still holds —
+    /// and again whenever a handled message leaves the inbox empty,
+    /// because handlers send replies (a sharer answering a recall inside a
+    /// barrier wait, say) that a peer's forward progress may depend on.
+    /// While the inbox still holds delivered messages the node cannot
+    /// block, so the flush is deferred and the replies for one incoming
+    /// batch coalesce.
+    ///
     /// `pred` is re-checked after **every** message: as soon as the wait is
     /// satisfied the loop returns, leaving any further queued messages for
     /// the node's next poll. This matters for virtual-time fidelity — a
@@ -273,6 +521,7 @@ impl<M: MsgSize + Send> Node<M> {
         handle: impl FnMut(&Self, Envelope<M>),
         mut pred: impl FnMut() -> bool,
     ) {
+        self.flush_coalesced();
         if pred() {
             return;
         }
@@ -296,6 +545,7 @@ impl<M: MsgSize + Send> Node<M> {
             match self.try_recv() {
                 Some(env) => {
                     handle(self, env);
+                    self.flush_after_handle();
                     if pred() {
                         return;
                     }
@@ -307,6 +557,7 @@ impl<M: MsgSize + Send> Node<M> {
                     match self.recv_timeout(Duration::from_micros(100)) {
                         Some(env) => {
                             handle(self, env);
+                            self.flush_after_handle();
                             if pred() {
                                 return;
                             }
@@ -337,11 +588,16 @@ impl<M: MsgSize + Send> Node<M> {
         }
     }
 
-    /// Snapshot of this node's statistics (final clock filled in).
+    /// Snapshot of this node's statistics (final clock filled in). Flushes
+    /// the coalescing buffers first so the wire counts cover everything the
+    /// program has logically sent.
     pub fn stats(&self) -> NodeStats {
+        self.flush_coalesced();
         NodeStats {
-            msgs_sent: self.msgs_sent.get(),
+            logical_msgs: self.logical_sent.get(),
+            wire_msgs: self.wire_sent.get(),
             bytes_sent: self.bytes_sent.get(),
+            wire_bytes: self.wire_bytes_sent.get(),
             msgs_recv: self.msgs_recv.get(),
             final_clock: self.clock.get(),
         }
@@ -407,9 +663,12 @@ mod tests {
                 node.poll_until("5 messages", |_, _| seen.set(seen.get() + 1), || seen.get() == 5);
             }
         });
-        assert_eq!(r.stats.nodes[0].msgs_sent, 5);
+        assert_eq!(r.stats.nodes[0].logical_msgs, 5);
+        // Coalescing off: every logical message is its own wire message.
+        assert_eq!(r.stats.nodes[0].wire_msgs, 5);
         assert_eq!(r.stats.nodes[1].msgs_recv, 5);
         assert_eq!(r.stats.nodes[0].bytes_sent, 5 * (8 + HEADER_BYTES as u64));
+        assert_eq!(r.stats.nodes[0].wire_bytes, r.stats.nodes[0].bytes_sent);
     }
 
     #[test]
@@ -484,5 +743,153 @@ mod tests {
         });
         assert_eq!(r.results[1], 10);
         assert!(recv_overhead > 0);
+    }
+
+    #[test]
+    fn batch_charges_one_latency_one_header() {
+        // Three logical u64 sends coalesce into one wire envelope: the
+        // sender pays 3× pack + 1× send_overhead; the receiver's clock
+        // covers one flight of (3×8 + HEADER) bytes plus one recv_overhead
+        // and two pack (unpack) charges — not three full latencies.
+        let cost = CostModel::cm5();
+        let c = cost.clone();
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(cost.clone())
+            .coalesce(CoalescePolicy::FlushOnWait)
+            .run::<u64, _, _>(move |node| {
+            if node.rank() == 0 {
+                for i in 0..3 {
+                    node.send(1, i + 1);
+                }
+                assert_eq!(node.pending_coalesced(), 3);
+                node.flush_coalesced();
+                let s = node.stats();
+                assert_eq!(s.logical_msgs, 3);
+                assert_eq!(s.wire_msgs, 1);
+                assert_eq!(s.bytes_sent, 3 * (8 + HEADER_BYTES as u64));
+                assert_eq!(s.wire_bytes, 3 * 8 + HEADER_BYTES as u64);
+                node.now()
+            } else {
+                let seen = Cell::new(0u64);
+                node.poll_until("3 msgs", |_, _| seen.set(seen.get() + 1), || seen.get() == 3);
+                node.now()
+            }
+        });
+        let send_done = 3 * c.pack_cost + c.send_overhead;
+        assert_eq!(r.results[0], send_done);
+        let arrival = send_done + c.wire_time(3 * 8 + HEADER_BYTES);
+        assert_eq!(r.results[1], arrival + c.recv_overhead + 2 * c.pack_cost);
+    }
+
+    #[test]
+    fn threshold_flushes_without_an_explicit_wait() {
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::free())
+            .coalesce(CoalescePolicy::Threshold(2))
+            .run::<u64, _, _>(|node| {
+                if node.rank() == 0 {
+                    for i in 0..5 {
+                        node.send(1, i + 1);
+                    }
+                    // 2+2 flushed by the threshold; one message still queued.
+                    let pending = node.pending_coalesced() as u64;
+                    node.flush_coalesced();
+                    (pending, node.stats().wire_msgs)
+                } else {
+                    let seen = Cell::new(0u64);
+                    node.poll_until("5 msgs", |_, _| seen.set(seen.get() + 1), || seen.get() == 5);
+                    (0, 0)
+                }
+            });
+        assert_eq!(r.results[0], (1, 3));
+        assert_eq!(r.stats.nodes[0].logical_msgs, 5);
+        assert_eq!(r.stats.nodes[1].msgs_recv, 5);
+    }
+
+    #[test]
+    fn coalesced_fifo_between_pair() {
+        // Order must survive batching, including across threshold flushes
+        // interleaved with wait-point flushes.
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::free())
+            .coalesce(CoalescePolicy::Threshold(7))
+            .run::<u64, _, _>(|node| {
+                if node.rank() == 0 {
+                    for i in 0..100 {
+                        node.send(1, i);
+                    }
+                    Vec::new()
+                } else {
+                    let seen = RefCell::new(Vec::new());
+                    node.poll_until(
+                        "100 msgs",
+                        |_, env| seen.borrow_mut().push(env.msg),
+                        || seen.borrow().len() == 100,
+                    );
+                    seen.into_inner()
+                }
+            });
+        assert_eq!(r.results[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_points_flush_so_request_reply_cannot_deadlock() {
+        // Request/reply ping-pong under FlushOnWait with drain_batch(1):
+        // nothing flushes until a node actually blocks, so this deadlocks
+        // unless poll_until flushes on entry (the request) and after each
+        // handled message (the reply, sent from handler context).
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::free())
+            .coalesce(CoalescePolicy::FlushOnWait)
+            .drain_batch(1)
+            .watchdog(Duration::from_secs(5))
+            .run::<u64, _, _>(|node| {
+                let done = Cell::new(0u64);
+                if node.rank() == 0 {
+                    node.send(1, 10);
+                    node.poll_until("reply", |_, env| done.set(env.msg), || done.get() != 0);
+                } else {
+                    node.poll_until(
+                        "request",
+                        |n, env| {
+                            n.send(0, env.msg + 1);
+                            done.set(env.msg);
+                        },
+                        || done.get() != 0,
+                    );
+                }
+                done.get()
+            });
+        assert_eq!(r.results, vec![11, 10]);
+    }
+
+    #[test]
+    fn set_coalesce_flushes_before_switching() {
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::free())
+            .coalesce(CoalescePolicy::FlushOnWait)
+            .run::<u64, _, _>(|node| {
+                if node.rank() == 0 {
+                    node.send(1, 1);
+                    node.send(1, 2);
+                    assert_eq!(node.pending_coalesced(), 2);
+                    node.set_coalesce(CoalescePolicy::Off);
+                    assert_eq!(node.pending_coalesced(), 0);
+                    node.send(1, 3);
+                    let s = node.stats();
+                    (s.logical_msgs, s.wire_msgs)
+                } else {
+                    let seen = Cell::new(0u64);
+                    node.poll_until("3 msgs", |_, _| seen.set(seen.get() + 1), || seen.get() == 3);
+                    (0, 0)
+                }
+            });
+        // Two buffered messages went out as one batch, then one single.
+        assert_eq!(r.results[0], (3, 2));
     }
 }

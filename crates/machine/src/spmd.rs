@@ -14,7 +14,7 @@ use crossbeam::channel::unbounded;
 
 use crate::cost::CostModel;
 use crate::envelope::MsgSize;
-use crate::node::{Node, NodeSetup, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG};
+use crate::node::{CoalescePolicy, Node, NodeSetup, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG};
 use crate::stats::{MachineStats, NodeStats};
 use crate::MAX_NODES;
 
@@ -53,6 +53,7 @@ pub struct MachineBuilder {
     trace: TraceConfig,
     watchdog: Duration,
     drain_batch: usize,
+    coalesce: CoalescePolicy,
 }
 
 impl Default for MachineBuilder {
@@ -70,6 +71,7 @@ impl MachineBuilder {
             trace: TraceConfig::off(),
             watchdog: DEFAULT_WATCHDOG,
             drain_batch: DEFAULT_DRAIN_BATCH,
+            coalesce: CoalescePolicy::Off,
         }
     }
 
@@ -104,6 +106,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Initial per-destination send-coalescing policy (off by default at
+    /// the substrate level; nodes can switch at runtime with
+    /// [`Node::set_coalesce`]).
+    pub fn coalesce(mut self, policy: CoalescePolicy) -> Self {
+        self.coalesce = policy;
+        self
+    }
+
     /// Launch `nprocs` simulated processors, each running `f` with its own
     /// [`Node`], in the single-program-multiple-data style of the paper
     /// ("a single user thread per processor (SPMD)", §3.1).
@@ -134,6 +144,7 @@ impl MachineBuilder {
             watchdog: self.watchdog,
             drain_batch: self.drain_batch,
             trace: self.trace.clone(),
+            coalesce: self.coalesce,
         };
         let mut txs = Vec::with_capacity(nprocs);
         let mut rxs = Vec::with_capacity(nprocs);
@@ -334,7 +345,10 @@ mod tests {
         );
         let trace = r.trace.expect("tracing was enabled");
         assert_eq!(trace.nodes.len(), 2);
-        assert_eq!(trace.send_count(), r.stats.total_msgs());
+        // Send/Recv events are per wire envelope; with coalescing off the
+        // wire and logical totals coincide.
+        assert_eq!(trace.send_count(), r.stats.total_wire_msgs());
+        assert_eq!(r.stats.total_wire_msgs(), r.stats.total_msgs());
         let n1 = &trace.nodes[1];
         assert!(n1.events.iter().any(|e| matches!(e.kind, EventKind::Recv { src: 0, .. })));
         assert!(n1.events.iter().any(|e| matches!(e.kind, EventKind::Block { .. })));
@@ -345,7 +359,45 @@ mod tests {
         }
         // The export round-trips through the validator.
         let check = ace_trace::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
-        assert_eq!(check.flow_starts, r.stats.total_msgs());
-        assert_eq!(check.flows_matched, r.stats.total_msgs());
+        assert_eq!(check.flow_starts, r.stats.total_wire_msgs());
+        assert_eq!(check.flows_matched, r.stats.total_wire_msgs());
+    }
+
+    #[test]
+    fn coalesced_traced_run_draws_one_flow_per_wire_message() {
+        // Five logical sends under FlushOnWait become one wire envelope:
+        // one Send event carrying subs=5, one flow arrow, one Recv.
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::cm5())
+            .trace(TraceConfig::on())
+            .coalesce(CoalescePolicy::FlushOnWait)
+            .run::<u64, _, _>(|node| {
+                if node.rank() == 0 {
+                    for i in 0..5 {
+                        node.send(1, i + 1);
+                    }
+                    node.flush_coalesced();
+                } else {
+                    let seen = std::cell::Cell::new(0u64);
+                    node.poll_until("5 msgs", |_, _| seen.set(seen.get() + 1), || seen.get() == 5);
+                }
+            });
+        assert_eq!(r.stats.total_msgs(), 5);
+        assert_eq!(r.stats.total_wire_msgs(), 1);
+        let trace = r.trace.expect("tracing was enabled");
+        assert_eq!(trace.send_count(), 1);
+        let subs: Vec<u32> = trace.nodes[0]
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Send { subs, .. } => Some(subs),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(subs, vec![5]);
+        let check = ace_trace::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
+        assert_eq!(check.flow_starts, 1);
+        assert_eq!(check.flows_matched, 1);
     }
 }

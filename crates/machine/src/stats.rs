@@ -1,16 +1,38 @@
 //! Per-node and whole-machine counters.
 
 /// Communication counters for one node.
+///
+/// Message accounting is split into *logical* and *wire* views. A logical
+/// message is one `Node::send` call; a wire message is one envelope that
+/// actually crossed a channel. With coalescing off the two coincide; with
+/// coalescing on, many logical messages can share one wire envelope (and
+/// one header), so `wire_msgs <= logical_msgs` always holds. Logical byte
+/// accounting charges every message its payload plus header — a
+/// deterministic function of the program — while `wire_bytes` charges each
+/// wire envelope one header over its summed payloads, so
+/// `bytes_sent - wire_bytes` is exactly the header bytes coalescing saved.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct NodeStats {
-    /// Messages injected by this node.
-    pub msgs_sent: u64,
-    /// Payload bytes injected (excluding headers).
+    /// Logical messages injected by this node (one per `send` call).
+    pub logical_msgs: u64,
+    /// Wire envelopes this node put on a channel.
+    pub wire_msgs: u64,
+    /// Logical bytes injected: payload plus one header per logical message,
+    /// independent of how messages were grouped on the wire.
     pub bytes_sent: u64,
-    /// Messages received and handled by this node.
+    /// Wire bytes injected: payload plus one header per wire envelope.
+    pub wire_bytes: u64,
+    /// Logical messages received and handled by this node.
     pub msgs_recv: u64,
     /// Final virtual clock, filled in when the node's program returns.
     pub final_clock: u64,
+}
+
+impl NodeStats {
+    /// Header bytes saved by coalescing on this node's sends.
+    pub fn headers_saved(&self) -> u64 {
+        self.bytes_sent.saturating_sub(self.wire_bytes)
+    }
 }
 
 /// Aggregated statistics for a whole SPMD run.
@@ -21,14 +43,24 @@ pub struct MachineStats {
 }
 
 impl MachineStats {
-    /// Total messages sent across all nodes.
+    /// Total logical messages sent across all nodes.
     pub fn total_msgs(&self) -> u64 {
-        self.nodes.iter().map(|n| n.msgs_sent).sum()
+        self.nodes.iter().map(|n| n.logical_msgs).sum()
     }
 
-    /// Total payload bytes sent across all nodes.
+    /// Total wire envelopes sent across all nodes.
+    pub fn total_wire_msgs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wire_msgs).sum()
+    }
+
+    /// Total logical payload+header bytes sent across all nodes.
     pub fn total_bytes(&self) -> u64 {
         self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total wire bytes sent across all nodes.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wire_bytes).sum()
     }
 
     /// Simulated completion time of the run: the maximum final clock.
@@ -45,12 +77,29 @@ mod tests {
     fn aggregation() {
         let stats = MachineStats {
             nodes: vec![
-                NodeStats { msgs_sent: 3, bytes_sent: 100, msgs_recv: 1, final_clock: 50 },
-                NodeStats { msgs_sent: 2, bytes_sent: 10, msgs_recv: 4, final_clock: 80 },
+                NodeStats {
+                    logical_msgs: 3,
+                    wire_msgs: 2,
+                    bytes_sent: 100,
+                    wire_bytes: 80,
+                    msgs_recv: 1,
+                    final_clock: 50,
+                },
+                NodeStats {
+                    logical_msgs: 2,
+                    wire_msgs: 2,
+                    bytes_sent: 10,
+                    wire_bytes: 10,
+                    msgs_recv: 4,
+                    final_clock: 80,
+                },
             ],
         };
         assert_eq!(stats.total_msgs(), 5);
+        assert_eq!(stats.total_wire_msgs(), 4);
         assert_eq!(stats.total_bytes(), 110);
+        assert_eq!(stats.total_wire_bytes(), 90);
+        assert_eq!(stats.nodes[0].headers_saved(), 20);
         assert_eq!(stats.sim_time(), 80);
     }
 
@@ -58,6 +107,7 @@ mod tests {
     fn empty_machine() {
         let stats = MachineStats::default();
         assert_eq!(stats.total_msgs(), 0);
+        assert_eq!(stats.total_wire_msgs(), 0);
         assert_eq!(stats.sim_time(), 0);
     }
 }

@@ -26,9 +26,13 @@ fn run_em3d(p: &em3d::Params, v: Variant, nprocs: usize, trace: TraceConfig) -> 
 
 fn assert_observationally_identical(off: &RunOutcome, on: &RunOutcome) {
     assert_eq!(off.verification, on.verification, "verification value");
-    assert_eq!(off.msgs, on.msgs, "total message count");
+    assert_eq!(off.msgs, on.msgs, "total logical message count");
     assert_eq!(off.bytes, on.bytes, "total payload bytes");
-    assert_eq!(off.counters, on.counters, "operation counters");
+    // Wire-envelope counts are excluded: how the coalescing buffers group
+    // logical sends into envelopes rides on wall-clock arrival order
+    // inside waits, so even two untraced runs can disagree on them.
+    let strip = |c: &ace_core::OpCounters| ace_core::OpCounters { wire_msgs: 0, ..c.clone() };
+    assert_eq!(strip(&off.counters), strip(&on.counters), "operation counters");
     assert!(off.trace.is_none() && on.trace.is_some());
 }
 
@@ -60,13 +64,14 @@ proptest! {
         // message events match the machine's stats, per-node virtual time
         // is monotone, and the Chrome export validates.
         let trace = on.trace.as_ref().unwrap();
-        prop_assert_eq!(trace.send_count() as u64, on.msgs);
+        prop_assert_eq!(trace.send_count(), on.wire_msgs, "one Send event per wire envelope");
+        prop_assert_eq!(trace.logical_send_count(), on.msgs);
         for n in &trace.nodes {
             prop_assert!(n.events.windows(2).all(|w| w[0].t <= w[1].t),
                 "node {} timeline must be monotone", n.rank);
         }
         let check = validate_chrome_trace(&trace.to_chrome_json()).unwrap();
-        prop_assert_eq!(check.flow_starts as u64, on.msgs);
+        prop_assert_eq!(check.flow_starts as u64, on.wire_msgs, "one flow arrow per wire envelope");
         prop_assert_eq!(check.flow_starts, check.flows_matched);
     }
 }

@@ -196,13 +196,13 @@ mod tests {
         let r = run_ace(2, CostModel::free(), |rt| {
             let rid = setup(rt);
             rt.machine_barrier();
-            let before = rt.node().stats().msgs_sent;
+            let before = rt.node().stats().logical_msgs;
             if rt.rank() == 1 {
                 for _ in 0..10 {
                     take_ticket(rt, rid);
                 }
             }
-            let sent = rt.node().stats().msgs_sent - before;
+            let sent = rt.node().stats().logical_msgs - before;
             rt.machine_barrier();
             sent
         });
@@ -215,13 +215,13 @@ mod tests {
         let r = run_ace(2, CostModel::free(), |rt| {
             let rid = setup(rt);
             rt.machine_barrier();
-            let before = rt.node().stats().msgs_sent;
+            let before = rt.node().stats().logical_msgs;
             if rt.rank() == 0 {
                 for _ in 0..10 {
                     take_ticket(rt, rid);
                 }
             }
-            let sent = rt.node().stats().msgs_sent - before;
+            let sent = rt.node().stats().logical_msgs - before;
             rt.machine_barrier();
             sent
         });

@@ -77,11 +77,20 @@ impl DynamicUpdate {
         e.aux.set(e.aux.get() | JOINED);
     }
 
-    /// Home side: start an update round on behalf of `writer`: assign a
+    /// Home side: push one update round on behalf of `writer`: assign a
     /// round number, forward new contents to every sharer except the
     /// writer, and record the round if any acks are expected. Returns
     /// whether the round completed immediately (no sharers to update).
-    fn start_round(&self, rt: &AceRt, e: &RegionEntry, writer: usize) -> bool {
+    ///
+    /// This is the protocol's fan-out hot path, and it is written to let
+    /// the transport's per-destination coalescing do its work: the UPDs
+    /// of one round — and of *every* round started from the same handler
+    /// or write burst, across regions — are plain `send_proto` calls
+    /// with no intervening wait, so cross-region UPDs bound for the same
+    /// sharer batch into shared wire envelopes (one latency, one header)
+    /// and go out when the writer blocks in `barrier`'s
+    /// "update rounds drain" wait or a buffer reaches its threshold.
+    fn push_round(&self, rt: &AceRt, e: &RegionEntry, writer: usize) -> bool {
         let seq = (e.aux.get() >> 16) as u16;
         e.aux.set((e.aux.get() & 0xFFFF) | (((seq as u64).wrapping_add(1) & 0xFFFF) << 16));
         // One snapshot shared across the whole fan-out: O(sharers)
@@ -173,7 +182,7 @@ impl Protocol for DynamicUpdate {
     fn end_write(&self, rt: &AceRt, e: &RegionEntry) {
         Self::add_outstanding(rt, e, 1);
         if e.is_home_of(rt.rank()) {
-            if self.start_round(rt, e, rt.rank()) {
+            if self.push_round(rt, e, rt.rank()) {
                 Self::add_outstanding(rt, e, -1);
             }
         } else {
@@ -196,7 +205,7 @@ impl Protocol for DynamicUpdate {
             }
             op::UPD_HOME => {
                 e.install_shared(msg.data.expect("update carries data"));
-                if self.start_round(rt, e, from) {
+                if self.push_round(rt, e, from) {
                     rt.send_proto(from, e.id, op::ROUND_DONE, 0, None);
                 }
             }
@@ -380,6 +389,67 @@ mod tests {
         let want: Vec<u64> = (0..8).map(|i| i * 10).collect();
         assert_eq!(r.results[0], want);
         assert_eq!(r.results[1], want);
+    }
+
+    #[test]
+    fn cross_region_updates_share_wire_envelopes() {
+        // The tentpole's first fan-out hot path: a home node writing many
+        // regions shared by the same remote pushes one UPD per region, and
+        // the transport batches those cross-region UPDs into shared wire
+        // envelopes. Logical traffic and results must not change; wire
+        // traffic must drop.
+        let run = |coalesce: bool| {
+            run_ace(2, CostModel::free(), move |rt| {
+                rt.set_coalescing(coalesce);
+                let s = rt.new_space(upd());
+                let mut rids = Vec::new();
+                for _ in 0..16 {
+                    let rid = if rt.rank() == 0 {
+                        RegionId(rt.bcast(0, &[rt.gmalloc_words(s, 1).0])[0])
+                    } else {
+                        RegionId(rt.bcast(0, &[])[0])
+                    };
+                    rt.map(rid);
+                    rids.push(rid);
+                }
+                rt.machine_barrier();
+                if rt.rank() == 0 {
+                    // One write burst across all regions with no wait in
+                    // between: nothing forces the per-region UPDs onto
+                    // separate wire envelopes.
+                    for (i, rid) in rids.iter().enumerate() {
+                        rt.start_write(*rid);
+                        rt.with_mut::<u64, _>(*rid, |d| d[0] = i as u64 + 1);
+                        rt.end_write(*rid);
+                    }
+                }
+                rt.barrier(s);
+                let mut sum = 0;
+                for rid in &rids {
+                    rt.start_read(*rid);
+                    sum += rt.with::<u64, _>(*rid, |d| d[0]);
+                    rt.end_read(*rid);
+                }
+                sum
+            })
+        };
+        let off = run(false);
+        let on = run(true);
+        let want: u64 = (1..=16).sum();
+        assert_eq!(off.results, vec![want, want]);
+        assert_eq!(on.results, vec![want, want]);
+        assert_eq!(off.stats.total_msgs(), on.stats.total_msgs(), "same logical traffic");
+        assert_eq!(
+            off.stats.total_wire_msgs(),
+            off.stats.total_msgs(),
+            "coalescing off: one wire envelope per logical message"
+        );
+        assert!(
+            on.stats.total_wire_msgs() < on.stats.total_msgs(),
+            "UPD fan-out should batch: {} wire vs {} logical",
+            on.stats.total_wire_msgs(),
+            on.stats.total_msgs()
+        );
     }
 
     #[test]

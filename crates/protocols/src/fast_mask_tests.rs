@@ -43,7 +43,7 @@ fn snap(rt: &AceRt, e: &RegionEntry) -> Snap {
         twin: e.twin.borrow().as_ref().map(|t| t.to_vec()),
         data: e.data.borrow().to_vec(),
         fast: e.fast.get(),
-        msgs_sent: rt.node().stats().msgs_sent,
+        msgs_sent: rt.node().stats().logical_msgs,
         outstanding: rt.space(e.space).outstanding.get(),
     }
 }

@@ -100,6 +100,18 @@ impl SeqInvalidate {
 
     /// Home side: start an invalidation sweep of every sharer except
     /// `except`. Returns the number of invalidations outstanding.
+    ///
+    /// The sweep is a pure fan-out with no intervening wait: every INV is
+    /// handed to the transport back to back, so under coalescing the whole
+    /// wave sits in the per-destination buffers and departs together at the
+    /// acquire's single `"sharer invalidations"` wait (or the WREQ
+    /// handler's return to the poll loop). One write acquire sweeps one
+    /// region, so each sharer receives exactly one INV — distinct
+    /// destinations bound the envelope merging here — but any other
+    /// pending traffic to a sharer (a DATA grant from a drained queue, a
+    /// concurrent sweep of a second region with an overlapping sharer set)
+    /// rides the same wire envelope. Contrast `dyn_update::push_round`,
+    /// whose cross-region UPDs to a common sharer batch heavily.
     fn sweep_sharers(&self, rt: &AceRt, e: &RegionEntry, except: Option<usize>) -> u32 {
         let mut n = 0;
         for s in e.sharer_ranks() {
@@ -530,6 +542,45 @@ mod tests {
             v
         });
         assert_eq!(r.results, vec![5; 4]);
+    }
+
+    #[test]
+    fn invalidation_sweeps_are_equivalent_under_coalescing() {
+        // SC's acquires are synchronous — every sweep is followed by a
+        // wait that flushes it — so coalescing must not change what any
+        // node observes, and logical traffic must be bit-identical between
+        // the two transports.
+        let run = |coalesce: bool| {
+            run_ace(4, CostModel::free(), move |rt| {
+                rt.set_coalescing(coalesce);
+                let rid = shared_region(rt, 1);
+                for round in 0..6u64 {
+                    // Everyone reads (populating the sharer list), then one
+                    // node's write acquire sweeps the other three.
+                    rt.start_read(rid);
+                    rt.end_read(rid);
+                    rt.machine_barrier();
+                    if rt.rank() as u64 == round % 4 {
+                        rt.start_write(rid);
+                        rt.with_mut::<u64, _>(rid, |d| d[0] = round + 1);
+                        rt.end_write(rid);
+                    }
+                    rt.machine_barrier();
+                }
+                rt.start_read(rid);
+                let v = rt.with::<u64, _>(rid, |d| d[0]);
+                rt.end_read(rid);
+                v
+            })
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.results, vec![6; 4]);
+        assert_eq!(on.results, off.results);
+        assert_eq!(on.stats.total_msgs(), off.stats.total_msgs(), "same logical traffic");
+        assert_eq!(on.stats.total_bytes(), off.stats.total_bytes());
+        assert!(on.stats.total_wire_msgs() <= on.stats.total_msgs());
+        assert_eq!(off.stats.total_wire_msgs(), off.stats.total_msgs());
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl MachineTrace {
         for (rank, e) in self.merged() {
             let t = ts(e.t);
             match &e.kind {
-                EventKind::Send { dst, tag, bytes } => {
+                EventKind::Send { dst, tag, bytes, subs } => {
                     let k = send_k.entry((rank, *dst)).or_insert(0);
                     let id = (rank as u64) << 48 | (*dst as u64) << 32 | *k;
                     *k += 1;
@@ -82,7 +82,7 @@ impl MachineTrace {
                         out,
                         ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{rank},\"ts\":{t},\"s\":\"t\",\
                          \"cat\":\"msg\",\"name\":\"send {tag}\",\
-                         \"args\":{{\"dst\":{dst},\"bytes\":{bytes}}}}}"
+                         \"args\":{{\"dst\":{dst},\"bytes\":{bytes},\"subs\":{subs}}}}}"
                     );
                     let _ = write!(
                         out,
@@ -90,7 +90,10 @@ impl MachineTrace {
                          \"cat\":\"msg\",\"name\":\"{tag}\",\"id\":\"0x{id:016x}\"}}"
                     );
                 }
-                EventKind::Recv { src, tag, bytes, sent_at } => {
+                // Packing is a bookkeeping event: the flow arrow belongs
+                // to the wire envelope, so the export draws nothing here.
+                EventKind::Pack { .. } => {}
+                EventKind::Recv { src, tag, bytes, sent_at, subs } => {
                     let k = recv_k.entry((*src, rank)).or_insert(0);
                     let id = (*src as u64) << 48 | (rank as u64) << 32 | *k;
                     *k += 1;
@@ -103,7 +106,8 @@ impl MachineTrace {
                         out,
                         ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{rank},\"ts\":{t},\"s\":\"t\",\
                          \"cat\":\"msg\",\"name\":\"recv {tag}\",\
-                         \"args\":{{\"src\":{src},\"bytes\":{bytes},\"sent_at\":{sent_at}}}}}"
+                         \"args\":{{\"src\":{src},\"bytes\":{bytes},\"sent_at\":{sent_at},\
+                         \"subs\":{subs}}}}}"
                     );
                 }
                 EventKind::HookEnter { hook, region, space, proto, detail }
@@ -270,7 +274,7 @@ mod tests {
                                 detail: "",
                             },
                         ),
-                        ev(20, K::Send { dst: 1, tag: "proto", bytes: 44 }),
+                        ev(20, K::Send { dst: 1, tag: "proto", bytes: 44, subs: 2 }),
                         ev(25, K::Block { what: "read data".into() }),
                         ev(90, K::Unblock { what: "read data".into() }),
                         ev(
@@ -289,7 +293,7 @@ mod tests {
                     rank: 1,
                     dropped: 0,
                     events: vec![
-                        ev(60, K::Recv { src: 0, tag: "proto", bytes: 44, sent_at: 20 }),
+                        ev(60, K::Recv { src: 0, tag: "proto", bytes: 44, sent_at: 20, subs: 2 }),
                         ev(
                             61,
                             K::HookEnter {

@@ -119,25 +119,49 @@ impl Hook {
 /// the rare block/unblock edges own their description.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
-    /// A message was injected toward `dst`.
+    /// A wire envelope was injected toward `dst`. One event per wire
+    /// message: a coalesced batch of logical sends emits a single `Send`
+    /// whose `subs` counts the sub-messages it carries.
     Send {
         /// Destination rank.
         dst: u16,
-        /// Message-type tag (see `MsgSize::tag` in the machine crate).
+        /// Message-type tag (see `MsgSize::tag` in the machine crate);
+        /// for a coalesced batch, the tag of its first sub-message.
         tag: &'static str,
-        /// Wire bytes charged (payload + header).
+        /// Wire bytes charged (summed payloads + one header).
+        bytes: u32,
+        /// Logical sub-messages in this wire envelope (1 when uncoalesced).
+        subs: u32,
+    },
+    /// One logical send. Every `send` call emits exactly one `Pack`,
+    /// whether the message departs immediately (coalescing off — the
+    /// matching [`EventKind::Send`] follows at the same timestamp) or
+    /// joins a per-destination coalescing buffer to ride a later wire
+    /// envelope. Summaries derive exact per-tag *logical* counts from
+    /// these; wire envelopes (`Send`) are filed under their first
+    /// sub-message's tag only.
+    Pack {
+        /// Destination rank.
+        dst: u16,
+        /// Message-type tag.
+        tag: &'static str,
+        /// Logical bytes charged: payload plus one per-message header,
+        /// independent of how the message is grouped on the wire.
         bytes: u32,
     },
-    /// A message from `src` was absorbed (popped for handling).
+    /// A wire envelope from `src` was absorbed (its first sub-message
+    /// popped for handling).
     Recv {
         /// Source rank.
         src: u16,
-        /// Message-type tag.
+        /// Message-type tag (first sub-message's tag for a batch).
         tag: &'static str,
-        /// Wire bytes charged (payload + header).
+        /// Wire bytes charged (summed payloads + one header).
         bytes: u32,
-        /// The sender's virtual clock when the message was injected.
+        /// The sender's virtual clock when the wire envelope was injected.
         sent_at: u64,
+        /// Logical sub-messages in this wire envelope (1 when uncoalesced).
+        subs: u32,
     },
     /// A runtime hook began on this node.
     HookEnter {

@@ -105,7 +105,7 @@ mod tests {
     fn ring_drops_oldest_on_overflow() {
         let s = TraceSink::new(&TraceConfig::with_capacity(2));
         for t in 0..5u64 {
-            s.emit(t, EventKind::Send { dst: 0, tag: "m", bytes: 8 });
+            s.emit(t, EventKind::Send { dst: 0, tag: "m", bytes: 8, subs: 1 });
         }
         assert_eq!(s.dropped(), 3);
         let nt = s.take(3);

@@ -60,9 +60,18 @@ pub struct HookRow {
 pub struct TagRow {
     /// The message tag.
     pub tag: &'static str,
-    /// Messages sent with this tag.
+    /// Wire envelopes filed under this tag. A coalesced batch counts
+    /// once, under its *first* sub-message's tag, so per-tag wire counts
+    /// are approximate when batches mix tags (the machine-wide total is
+    /// exact).
     pub msgs: u64,
-    /// Wire bytes (payload + header) sent with this tag.
+    /// Logical sends with this tag, counted from `Pack` events — exact
+    /// and deterministic regardless of how coalescing grouped the
+    /// messages into envelopes.
+    pub logical: u64,
+    /// Logical bytes (payload + one per-message header) for this tag,
+    /// from `Pack` events; like `logical`, independent of the wire
+    /// grouping.
     pub bytes: u64,
 }
 
@@ -90,14 +99,28 @@ impl MachineTrace {
         self.nodes.iter().map(|n| n.events.len()).sum()
     }
 
-    /// Total `Send` events across all nodes (equals the machine's
-    /// messages-sent counter when no ring overflowed).
+    /// Total `Send` events across all nodes — one per *wire* envelope
+    /// (equals the machine's wire-messages counter when no ring
+    /// overflowed).
     pub fn send_count(&self) -> u64 {
         self.nodes
             .iter()
             .flat_map(|n| &n.events)
             .filter(|e| matches!(e.kind, EventKind::Send { .. }))
             .count() as u64
+    }
+
+    /// Total logical messages carried by all `Send` events (sum of each
+    /// wire envelope's sub-message count).
+    pub fn logical_send_count(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.events)
+            .filter_map(|e| match e.kind {
+                EventKind::Send { subs, .. } => Some(subs as u64),
+                _ => None,
+            })
+            .sum()
     }
 
     /// The machine-wide timeline: every event paired with its rank,
@@ -117,7 +140,7 @@ impl MachineTrace {
     /// Reduce the trace to per-protocol hook and per-tag message tables.
     pub fn summary(&self) -> TraceSummary {
         let mut hooks: HashMap<(&'static str, &'static str), (u64, u64)> = HashMap::new();
-        let mut tags: HashMap<&'static str, (u64, u64)> = HashMap::new();
+        let mut tags: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
         let mut dropped = 0;
         for n in &self.nodes {
             dropped += n.dropped;
@@ -125,10 +148,13 @@ impl MachineTrace {
             let mut open: Vec<(Hook, &'static str, &'static str, u64)> = Vec::new();
             for e in &n.events {
                 match &e.kind {
-                    EventKind::Send { tag, bytes, .. } => {
-                        let row = tags.entry(tag).or_insert((0, 0));
-                        row.0 += 1;
-                        row.1 += *bytes as u64;
+                    EventKind::Send { tag, .. } => {
+                        tags.entry(tag).or_insert((0, 0, 0)).0 += 1;
+                    }
+                    EventKind::Pack { tag, bytes, .. } => {
+                        let row = tags.entry(tag).or_insert((0, 0, 0));
+                        row.1 += 1;
+                        row.2 += *bytes as u64;
                     }
                     EventKind::HookEnter { hook, proto, detail, .. } => {
                         let label = if detail.is_empty() { hook.name() } else { *detail };
@@ -152,8 +178,10 @@ impl MachineTrace {
             .map(|((proto, hook), (count, time_ns))| HookRow { proto, hook, count, time_ns })
             .collect();
         hooks.sort_by(|a, b| b.time_ns.cmp(&a.time_ns).then(a.hook.cmp(b.hook)));
-        let mut tags: Vec<TagRow> =
-            tags.into_iter().map(|(tag, (msgs, bytes))| TagRow { tag, msgs, bytes }).collect();
+        let mut tags: Vec<TagRow> = tags
+            .into_iter()
+            .map(|(tag, (msgs, logical, bytes))| TagRow { tag, msgs, logical, bytes })
+            .collect();
         tags.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.tag.cmp(b.tag)));
         TraceSummary { hooks, tags, events: self.event_count() as u64, dropped, fast_hits: 0 }
     }
@@ -247,10 +275,23 @@ impl TraceSummary {
             }
         }
         if !self.tags.is_empty() {
-            let _ = writeln!(s, "{:<16} {:>10} {:>14}", "message tag", "msgs", "bytes");
+            let _ = writeln!(
+                s,
+                "{:<16} {:>10} {:>10} {:>14}",
+                "message tag", "wire", "logical", "bytes"
+            );
+            let (mut wire, mut logical) = (0u64, 0u64);
             for r in &self.tags {
-                let _ = writeln!(s, "{:<16} {:>10} {:>14}", r.tag, r.msgs, r.bytes);
+                let _ =
+                    writeln!(s, "{:<16} {:>10} {:>10} {:>14}", r.tag, r.msgs, r.logical, r.bytes);
+                wire += r.msgs;
+                logical += r.logical;
             }
+            let _ = writeln!(
+                s,
+                "messages: {logical} logical in {wire} wire envelopes{}",
+                if logical > wire { " (coalesced)" } else { "" }
+            );
         }
         s
     }
@@ -304,23 +345,35 @@ mod tests {
                 dropped: 2,
                 events: vec![
                     ev(0, enter(Hook::StartRead, 7, "sc", "")),
-                    ev(10, K::Send { dst: 1, tag: "proto", bytes: 32 }),
+                    // Three logical sends buffered, then flushed as one
+                    // wire envelope...
+                    ev(2, K::Pack { dst: 1, tag: "proto", bytes: 12 }),
+                    ev(4, K::Pack { dst: 1, tag: "proto", bytes: 12 }),
+                    ev(6, K::Pack { dst: 1, tag: "proto", bytes: 12 }),
+                    ev(10, K::Send { dst: 1, tag: "proto", bytes: 32, subs: 3 }),
                     ev(30, exit(Hook::StartRead, 7, "sc", "")),
                     ev(31, enter(Hook::Handle, 7, "sc", "RREQ")),
                     ev(40, exit(Hook::Handle, 7, "sc", "RREQ")),
-                    ev(41, K::Send { dst: 1, tag: "proto", bytes: 8 }),
+                    // ...and one uncoalesced send (its Pack and Send pair
+                    // at the same instant).
+                    ev(41, K::Pack { dst: 1, tag: "proto", bytes: 8 }),
+                    ev(41, K::Send { dst: 1, tag: "proto", bytes: 8, subs: 1 }),
                 ],
             }],
         };
         let s = t.summary();
         assert_eq!(s.dropped, 2);
-        assert_eq!(s.events, 6);
+        assert_eq!(s.events, 10);
         let sr = s.hooks.iter().find(|r| r.hook == "start_read").unwrap();
         assert_eq!((sr.count, sr.time_ns, sr.proto), (1, 30, "sc"));
         let h = s.hooks.iter().find(|r| r.hook == "RREQ").unwrap();
         assert_eq!((h.count, h.time_ns), (1, 9));
-        assert_eq!(s.tags, vec![TagRow { tag: "proto", msgs: 2, bytes: 40 }]);
-        assert!(s.render().contains("RREQ"));
+        assert_eq!(s.tags, vec![TagRow { tag: "proto", msgs: 2, logical: 4, bytes: 44 }]);
+        assert_eq!(t.send_count(), 2);
+        assert_eq!(t.logical_send_count(), 4);
+        let rendered = s.render();
+        assert!(rendered.contains("RREQ"));
+        assert!(rendered.contains("4 logical in 2 wire envelopes (coalesced)"), "{rendered}");
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn sample_trace() -> MachineTrace {
                     },
                     TraceEvent {
                         t: 2_000,
-                        kind: EventKind::Send { dst: 1, tag: "proto", bytes: 32 },
+                        kind: EventKind::Send { dst: 1, tag: "proto", bytes: 32, subs: 2 },
                     },
                 ],
             },
@@ -67,7 +67,13 @@ fn sample_trace() -> MachineTrace {
                     },
                     TraceEvent {
                         t: 2_600,
-                        kind: EventKind::Recv { src: 0, tag: "proto", bytes: 32, sent_at: 2_000 },
+                        kind: EventKind::Recv {
+                            src: 0,
+                            tag: "proto",
+                            bytes: 32,
+                            sent_at: 2_000,
+                            subs: 2,
+                        },
                     },
                     TraceEvent { t: 2_700, kind: EventKind::State { region, from: 1, to: 2 } },
                     TraceEvent {
