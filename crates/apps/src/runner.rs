@@ -26,6 +26,9 @@ pub struct RunOutcome {
     pub bytes: u64,
     /// Machine-wide aggregated operation counters.
     pub counters: OpCounters,
+    /// Total conformance violations recorded across all nodes (always 0
+    /// unless the run was launched with a [`ace_core::CheckMode`]).
+    pub violations: u64,
     /// Merged event trace, when the run was launched with tracing on.
     pub trace: Option<MachineTrace>,
 }
@@ -93,6 +96,7 @@ fn collect(r: ace_core::SpmdResult<(f64, OpCounters)>) -> RunOutcome {
         wire_msgs: r.stats.total_wire_msgs(),
         bytes: r.stats.total_bytes(),
         counters,
+        violations: r.stats.total_violations(),
         trace: r.trace,
     }
 }

@@ -74,8 +74,11 @@ fn pair_force(pi: &[f64], pj: &[f64]) -> [f64; 3] {
 }
 
 /// Run Water; returns the verification value (global Σ|pos| after the
-/// last step). Force accumulation order differs between protocols, so
-/// compare checksums with a small tolerance.
+/// last step). Every node first accumulates its pair contributions into a
+/// private buffer, then the nodes apply their buffers in a fixed
+/// (node, molecule-index) order — f64 addition does not commute in
+/// rounding, so this fixed reduction order is what makes the checksum
+/// reproducible run-to-run and digest-comparable across configurations.
 pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
     let mols_space = d.new_space(ProtoSpec::Sc);
     let n = p.molecules;
@@ -158,6 +161,10 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
         if v == Variant::Custom {
             d.change_protocol(mols_space, ProtoSpec::Pipelined);
         }
+        // Accumulate this node's contributions into a private buffer: the
+        // pair loop only reads shared data.
+        let mut frc = vec![[0.0f64; 3]; n];
+        let mut touched = vec![false; n];
         for &(i, j) in &my_pairs {
             let (ri, rj) = (mol_id[i], mol_id[j]);
             d.map(ri);
@@ -170,25 +177,46 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
             d.end_read(rj);
             let f = pair_force(&pi, &pj);
             d.charge_flops(14);
-            d.start_write(ri);
-            d.with_mut::<f64, _>(ri, |m| {
-                for a in 0..3 {
-                    m[FRC + a] += f[a];
-                }
-            });
-            d.end_write(ri);
-            d.start_write(rj);
-            d.with_mut::<f64, _>(rj, |m| {
-                for a in 0..3 {
-                    m[FRC + a] -= f[a];
-                }
-            });
-            d.end_write(rj);
+            for a in 0..3 {
+                frc[i][a] += f[a];
+                frc[j][a] -= f[a];
+            }
+            touched[i] = true;
+            touched[j] = true;
             d.unmap(ri);
             d.unmap(rj);
             d.charge_flops(6);
         }
+        // Let every node finish reading before anyone writes: without
+        // this rendezvous the sharer sets the first writer invalidates
+        // (and with them the message counts) depend on read/write timing.
         d.barrier(mols_space);
+        // Apply the buffers in a fixed (node, molecule-index) reduction
+        // order: nodes take barrier-separated turns, molecules in index
+        // order within a turn, so every accumulator sums the same values
+        // in the same order on every run regardless of how messages
+        // interleave.
+        for turn in 0..d.nprocs() {
+            if turn == d.rank() {
+                for (i, f) in frc.iter().enumerate() {
+                    if !touched[i] {
+                        continue;
+                    }
+                    let rid = mol_id[i];
+                    d.map(rid);
+                    d.start_write(rid);
+                    d.with_mut::<f64, _>(rid, |m| {
+                        for a in 0..3 {
+                            m[FRC + a] += f[a];
+                        }
+                    });
+                    d.end_write(rid);
+                    d.unmap(rid);
+                    d.charge_flops(3);
+                }
+            }
+            d.barrier(mols_space);
+        }
         if v == Variant::Custom {
             d.change_protocol(mols_space, ProtoSpec::Null);
         }

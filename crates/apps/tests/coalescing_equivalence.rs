@@ -9,10 +9,10 @@
 //! the annotation counters. Only the wire-envelope grouping (and with it
 //! simulated time) may differ.
 //!
-//! As in `fast_path_equivalence`, EM3D is bit-deterministic end to end
-//! and gets the strict comparison, including per-tag logical counts read
-//! from a traced run. Water races f64 force accumulation across nodes, so
-//! it asserts the scheduling-independent invariants instead.
+//! As in `fast_path_equivalence`, EM3D and Water are bit-deterministic
+//! end to end and get the strict comparison, including per-tag logical
+//! counts read from a traced run. Water earns it through its fixed
+//! (node, molecule-index) force reduction order (see `water::run`).
 //!
 //! The file ends with the liveness test the tentpole demands: a
 //! `drain_batch(1)` machine with a coalescing threshold far larger than
@@ -147,15 +147,10 @@ proptest! {
         let v = if custom { Variant::Custom } else { Variant::Sc };
         let off = run_app(false, 4, |d| water::run(d, &p, v));
         let on = run_app(true, 4, |d| water::run(d, &p, v));
-        // Water races f64 accumulation across nodes (see module doc), so
-        // only the scheduling-independent invariants can be exact; the
-        // verification value gets the app's own relative tolerance.
-        let (a, b) = (off.verification, on.verification);
-        prop_assert!(
-            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
-            "water: verification drifted beyond accumulation-order noise: off={a} on={b}"
-        );
-        assert_transport_accounting(&off, &on, "water");
+        // Water's fixed (node, molecule) force reduction order makes it
+        // bit-deterministic, so it earns the same strict comparison as
+        // EM3D — digests, per-tag counts, and all.
+        assert_equivalent(&off, &on, "water");
     }
 }
 

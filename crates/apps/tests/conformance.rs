@@ -1,0 +1,284 @@
+//! The conformance checker (`ace-check`) against the real workloads and
+//! against injected violations.
+//!
+//! Two halves. First, the clean bill of health: all five paper benchmarks
+//! run to completion under `CheckMode::Fail` — where the first violation
+//! panics the offending node — with zero violations counted, in both the
+//! SC and custom-protocol variants. Second, the checker's teeth: a
+//! deliberately unfenced no-op protocol (exclusive grants, hooks that
+//! enforce nothing) lets tests commit each class of violation and assert
+//! the exact structured [`AceError::Conformance`] report — region, node,
+//! and offending action.
+
+use std::rc::Rc;
+
+use ace_apps::{barnes, bsc, em3d, tsp, water, AceDsm, Variant};
+use ace_core::{
+    run_ace_with, AceError, AceRt, CheckMode, ConformanceKind, CostModel, MachineBuilder, ProtoMsg,
+    Protocol, RegionEntry, Spmd,
+};
+
+fn checked(nprocs: usize, mode: CheckMode) -> MachineBuilder {
+    Spmd::builder().nprocs(nprocs).cost(CostModel::cm5()).check(mode)
+}
+
+/// Run one benchmark kernel under `CheckMode::Fail` on 4 nodes and assert
+/// it finishes with a finite verification value and zero violations.
+fn assert_conformant<F>(name: &str, f: F)
+where
+    F: Fn(&AceDsm) -> f64 + Sync,
+{
+    let r = run_ace_with(checked(4, CheckMode::Fail), |rt| {
+        let d = AceDsm::new(rt);
+        f(&d)
+    });
+    assert!(r.results[0].is_finite(), "{name}: lost its verification value");
+    assert_eq!(r.stats.total_violations(), 0, "{name}: checker counted violations");
+}
+
+#[test]
+fn em3d_runs_violation_free_under_fail() {
+    for v in [Variant::Sc, Variant::Custom] {
+        assert_conformant("em3d", |d| em3d::run(d, &em3d::Params::small(), v));
+    }
+}
+
+#[test]
+fn water_runs_violation_free_under_fail() {
+    for v in [Variant::Sc, Variant::Custom] {
+        assert_conformant("water", |d| water::run(d, &water::Params::small(), v));
+    }
+}
+
+#[test]
+fn barnes_runs_violation_free_under_fail() {
+    for v in [Variant::Sc, Variant::Custom] {
+        assert_conformant("barnes", |d| barnes::run(d, &barnes::Params::small(), v));
+    }
+}
+
+#[test]
+fn bsc_runs_violation_free_under_fail() {
+    for v in [Variant::Sc, Variant::Custom] {
+        assert_conformant("bsc", |d| bsc::run(d, &bsc::Params::small(), v));
+    }
+}
+
+#[test]
+fn tsp_runs_violation_free_under_fail() {
+    for v in [Variant::Sc, Variant::Custom] {
+        assert_conformant("tsp", |d| tsp::run(d, &tsp::Params::small(), v));
+    }
+}
+
+/// A protocol that grants nothing and enforces nothing: every hook is a
+/// no-op and `grants()` stays at the exclusive default. Data is always
+/// locally valid (regions never migrate), so a test can commit any
+/// access-control sin it likes and the only witness is the checker.
+struct Unfenced;
+
+impl Protocol for Unfenced {
+    fn name(&self) -> &'static str {
+        "unfenced"
+    }
+    fn start_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
+    fn end_read(&self, _rt: &AceRt, _e: &RegionEntry) {}
+    fn start_write(&self, _rt: &AceRt, _e: &RegionEntry) {}
+    fn end_write(&self, _rt: &AceRt, _e: &RegionEntry) {}
+    fn handle(&self, _rt: &AceRt, _e: &RegionEntry, _msg: ProtoMsg, _src: usize) {}
+    fn flush(&self, _rt: &AceRt, _e: &RegionEntry) {}
+}
+
+#[test]
+fn read_outside_section_is_reported() {
+    let r = checked(1, CheckMode::Log).run(|node| {
+        let rt = AceRt::new(node);
+        let s = rt.new_space(Rc::new(Unfenced));
+        let rid = rt.gmalloc::<u64>(s, 1);
+        rt.map(rid);
+        let _ = rt.with::<u64, _>(rid, |m| m[0]);
+        let v = rt.violations();
+        rt.shutdown();
+        (rid, v)
+    });
+    let (rid, v) = &r.results[0];
+    assert_eq!(
+        v.as_slice(),
+        [AceError::Conformance {
+            region: *rid,
+            rank: 0,
+            kind: ConformanceKind::AccessOutsideSection { action: "read" },
+        }]
+    );
+}
+
+#[test]
+fn write_under_read_grant_is_reported() {
+    let r = checked(1, CheckMode::Log).run(|node| {
+        let rt = AceRt::new(node);
+        let s = rt.new_space(Rc::new(Unfenced));
+        let rid = rt.gmalloc::<u64>(s, 1);
+        rt.map(rid);
+        rt.start_read(rid);
+        rt.with_mut::<u64, _>(rid, |m| m[0] = 7);
+        rt.end_read(rid);
+        let v = rt.violations();
+        rt.shutdown();
+        (rid, v)
+    });
+    let (rid, v) = &r.results[0];
+    assert_eq!(
+        v.as_slice(),
+        [AceError::Conformance {
+            region: *rid,
+            rank: 0,
+            kind: ConformanceKind::WriteUnderReadGrant,
+        }]
+    );
+}
+
+#[test]
+fn write_outside_any_section_is_reported() {
+    let r = checked(1, CheckMode::Log).run(|node| {
+        let rt = AceRt::new(node);
+        let s = rt.new_space(Rc::new(Unfenced));
+        let rid = rt.gmalloc::<u64>(s, 1);
+        rt.map(rid);
+        rt.with_mut::<u64, _>(rid, |m| m[0] = 7);
+        let v = rt.violations();
+        rt.shutdown();
+        (rid, v)
+    });
+    let (rid, v) = &r.results[0];
+    assert_eq!(
+        v.as_slice(),
+        [AceError::Conformance {
+            region: *rid,
+            rank: 0,
+            kind: ConformanceKind::WriteOutsideSection,
+        }]
+    );
+}
+
+#[test]
+fn section_left_open_at_exit_is_reported() {
+    let r = checked(1, CheckMode::Log).run(|node| {
+        let rt = AceRt::new(node);
+        let s = rt.new_space(Rc::new(Unfenced));
+        let rid = rt.gmalloc::<u64>(s, 1);
+        rt.map(rid);
+        rt.start_write(rid);
+        // Never closed: the shutdown sweep must flag the leak.
+        rt.shutdown();
+        (rid, rt.violations())
+    });
+    let (rid, v) = &r.results[0];
+    assert_eq!(v.len(), 1, "exactly the leak: {v:?}");
+    match &v[0] {
+        AceError::Conformance {
+            region,
+            rank: 0,
+            kind: ConformanceKind::SectionLeftOpen { write: true, .. },
+        } => assert_eq!(region, rid),
+        other => panic!("wrong report: {other}"),
+    }
+}
+
+#[test]
+fn concurrent_conflicting_sections_across_nodes_are_reported() {
+    // Both nodes hold a write section on one region with no intervening
+    // messages: vector-clock-concurrent, and never granted by the
+    // exclusive `Unfenced` protocol. The analysis runs on node 0 over the
+    // gathered section histories, so node 0 carries the report.
+    let r = checked(2, CheckMode::Log).run(|node| {
+        let rt = AceRt::new(node);
+        let s = rt.new_space(Rc::new(Unfenced));
+        let rid = if rt.rank() == 0 {
+            let rid = rt.gmalloc::<u64>(s, 1);
+            rt.bcast(0, &[rid.0])[0]
+        } else {
+            rt.bcast(0, &[])[0]
+        };
+        let rid = ace_core::RegionId(rid);
+        rt.map(rid);
+        rt.machine_barrier();
+        rt.start_write(rid);
+        rt.with_mut::<u64, _>(rid, |m| m[0] = rt.rank() as u64);
+        rt.end_write(rid);
+        rt.machine_barrier();
+        rt.shutdown();
+        (rid, rt.violations())
+    });
+    let (rid, v0) = &r.results[0];
+    let (_, v1) = &r.results[1];
+    assert!(v1.is_empty(), "only the analyzing node reports: {v1:?}");
+    assert_eq!(v0.len(), 1, "exactly one conflict: {v0:?}");
+    match &v0[0] {
+        AceError::Conformance {
+            region,
+            kind: ConformanceKind::ConflictingSections { a, b },
+            ..
+        } => {
+            assert_eq!(region, rid);
+            assert!(a.write && b.write, "both sides are write sections: {a} / {b}");
+            let mut ranks = [a.rank, b.rank];
+            ranks.sort_unstable();
+            assert_eq!(ranks, [0, 1]);
+            assert_eq!(a.proto, "unfenced");
+            // The section histories carry the timestamps the report
+            // prints, so a human can line the two sections up.
+            assert!(a.close_t >= a.open_t && b.close_t >= b.open_t);
+        }
+        other => panic!("wrong report: {other}"),
+    }
+    assert_eq!(r.stats.total_violations(), 1);
+}
+
+#[test]
+fn causally_ordered_sections_do_not_conflict() {
+    // Same two write sections, but separated by a machine barrier: the
+    // barrier's messages carry vector clocks, so the sections are ordered
+    // and the exclusive grant is honored.
+    let r = checked(2, CheckMode::Log).run(|node| {
+        let rt = AceRt::new(node);
+        let s = rt.new_space(Rc::new(Unfenced));
+        let rid = if rt.rank() == 0 {
+            let rid = rt.gmalloc::<u64>(s, 1);
+            rt.bcast(0, &[rid.0])[0]
+        } else {
+            rt.bcast(0, &[])[0]
+        };
+        let rid = ace_core::RegionId(rid);
+        rt.map(rid);
+        rt.machine_barrier();
+        if rt.rank() == 0 {
+            rt.start_write(rid);
+            rt.with_mut::<u64, _>(rid, |m| m[0] = 1);
+            rt.end_write(rid);
+        }
+        rt.machine_barrier();
+        if rt.rank() == 1 {
+            rt.start_write(rid);
+            rt.with_mut::<u64, _>(rid, |m| m[0] = 2);
+            rt.end_write(rid);
+        }
+        rt.machine_barrier();
+        rt.shutdown();
+        rt.violations()
+    });
+    assert!(r.results.iter().all(|v| v.is_empty()), "{:?}", r.results);
+    assert_eq!(r.stats.total_violations(), 0);
+}
+
+#[test]
+#[should_panic(expected = "conformance violation")]
+fn fail_mode_panics_on_first_violation() {
+    let _ = checked(1, CheckMode::Fail).run(|node| {
+        let rt = AceRt::new(node);
+        let s = rt.new_space(Rc::new(Unfenced));
+        let rid = rt.gmalloc::<u64>(s, 1);
+        rt.map(rid);
+        let _ = rt.with::<u64, _>(rid, |m| m[0]);
+        rt.shutdown();
+    });
+}

@@ -12,16 +12,11 @@
 //! and Water (both its null-protocol intra-molecular and pipelined
 //! inter-molecular phases), with parameters driven by proptest.
 //!
-//! EM3D is bit-deterministic end to end, so it gets the strict
-//! comparison. Water is not: remote nodes race to accumulate f64 forces
-//! into the same molecules, so arrival order — which rides on wall-clock
-//! thread scheduling — perturbs the low bits of the data and, under SC,
-//! the miss/invalidate traffic itself. Two *identical* fast-off Water
-//! runs already disagree on those observables, so the test asserts the
-//! invariants that are scheduling-independent: the verification value
-//! within the app's own tolerance, the annotation counts, and the exact
-//! conservation law `dispatched + direct (+ fast_hits)` = number of
-//! access annotations.
+//! Both are bit-deterministic end to end and get the strict comparison.
+//! Water earns it through its fixed (node, molecule-index) force
+//! reduction order: contributions are buffered locally and applied in
+//! barrier-separated node turns, so arrival order never perturbs the
+//! f64 sums (see `water::run`).
 
 use ace_apps::{em3d, water, AceDsm, Variant};
 use ace_core::{run_ace_with, CostModel, OpCounters, Spmd};
@@ -160,15 +155,10 @@ proptest! {
         let v = if custom { Variant::Custom } else { Variant::Sc };
         let off = run_app(false, 4, |d| water::run(d, &p, v));
         let on = run_app(true, 4, |d| water::run(d, &p, v));
-        // Water races f64 accumulation across nodes (see module doc), so
-        // only the scheduling-independent invariants can be exact; the
-        // verification value gets the app's own relative tolerance.
-        let (a, b) = (off.verification, on.verification);
-        prop_assert!(
-            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
-            "water: verification drifted beyond accumulation-order noise: off={a} on={b}"
-        );
-        assert_fast_accounting(&off, &on, "water");
+        // Water's fixed (node, molecule) force reduction order makes it
+        // bit-deterministic, so it earns the same strict comparison as
+        // EM3D — digests and all.
+        assert_equivalent(&off, &on, "water");
     }
 }
 

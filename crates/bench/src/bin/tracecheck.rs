@@ -57,6 +57,11 @@ fn main() {
         check.flow_starts, check.flows_matched,
         "every flow start must pair with a flow finish"
     );
+    assert_eq!(
+        check.flow_ends, check.flows_matched,
+        "no dangling flow ends may survive export (the validator rejects them outright; \
+         this pins the exported counts too)"
+    );
     for n in &trace.nodes {
         assert!(
             n.events.windows(2).all(|w| w[0].t <= w[1].t),

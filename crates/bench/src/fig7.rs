@@ -3,7 +3,7 @@
 
 use ace_apps::runner::{launch_ace_with, launch_crl_with, RunOutcome};
 use ace_apps::{barnes, bsc, em3d, tsp, water, Variant};
-use ace_core::{CostModel, MachineBuilder, Spmd, TraceConfig};
+use ace_core::{CheckMode, CostModel, MachineBuilder, Spmd, TraceConfig};
 
 /// The five benchmarks, in the paper's order.
 pub const APPS: [&str; 5] = ["barnes", "bsc", "em3d", "tsp", "water"];
@@ -293,6 +293,68 @@ pub struct Fig7bRow {
     pub sc_nocoal: VariantStats,
     /// Custom protocols with `set_coalescing(false)`.
     pub custom_nocoal: VariantStats,
+}
+
+/// One row of the conformance-checker overhead table: a benchmark run
+/// check-off and check-on (`CheckMode::Fail`) on otherwise identical
+/// machines. The vector-clock piggyback and the checker's bookkeeping
+/// charge nothing to the cost model, so the simulated-time column is
+/// expected to move only by the shutdown-time history gather (plus the
+/// usual scheduling jitter); the wall-clock column is where the real
+/// overhead shows.
+pub struct CheckRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Protocol assignment the overhead was measured under.
+    pub variant: Variant,
+    /// Accounting with the checker off.
+    pub off: VariantStats,
+    /// Accounting with the checker on (`CheckMode::Fail`).
+    pub on: VariantStats,
+    /// Conformance violations counted in the checked runs (a completed
+    /// `Fail` run implies 0 — the first violation panics).
+    pub violations: u64,
+}
+
+impl CheckRow {
+    /// Simulated-time overhead of the checker, as a percentage.
+    pub fn sim_overhead_pct(&self) -> f64 {
+        (self.on.sim_ns as f64 / self.off.sim_ns as f64 - 1.0) * 100.0
+    }
+
+    /// Wall-clock overhead of the checker, as a percentage.
+    pub fn wall_overhead_pct(&self) -> f64 {
+        (self.on.wall_ns as f64 / self.off.wall_ns as f64 - 1.0) * 100.0
+    }
+}
+
+/// Measure conformance-checker overhead for the named apps, both protocol
+/// assignments each.
+pub fn check_overhead(apps: &[&str], scale: Scale, nprocs: usize, runs: usize) -> Vec<CheckRow> {
+    let mut rows = Vec::new();
+    for app in apps {
+        for v in [Variant::Sc, Variant::Custom] {
+            let off = averaged(|| run_ace_app(app, scale, v, nprocs), runs);
+            let violations = std::cell::Cell::new(0);
+            let on = averaged(
+                || {
+                    let r =
+                        run_ace_app_on(app, scale, v, fig_machine(nprocs).check(CheckMode::Fail));
+                    violations.set(violations.get() + r.violations);
+                    r
+                },
+                runs,
+            );
+            rows.push(CheckRow {
+                app: app.to_string(),
+                variant: v,
+                off,
+                on,
+                violations: violations.get(),
+            });
+        }
+    }
+    rows
 }
 
 /// Compute Figure 7b.

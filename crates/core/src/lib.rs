@@ -25,6 +25,7 @@
 //! reads and writes, at map/unmap, and at synchronization points, plus an
 //! active-message handler for their wire protocol.
 
+mod check;
 pub mod counters;
 pub mod error;
 pub mod ids;
@@ -36,15 +37,15 @@ pub mod space;
 
 pub use ace_machine::pod::{self, Pod};
 pub use ace_machine::{
-    validate_chrome_trace, ChromeCheck, CoalescePolicy, CostModel, Envelope, EventKind, Hook,
-    MachineBuilder, MachineTrace, Node, NodeTrace, Spmd, SpmdResult, TraceConfig, TraceEvent,
+    validate_chrome_trace, CheckMode, ChromeCheck, CoalescePolicy, CostModel, Envelope, EventKind,
+    Hook, MachineBuilder, MachineTrace, Node, NodeTrace, Spmd, SpmdResult, TraceConfig, TraceEvent,
     TraceSummary,
 };
 pub use counters::OpCounters;
-pub use error::AceError;
+pub use error::{AceError, ConformanceKind, SectionRecord};
 pub use ids::{RegionId, SpaceId};
 pub use msg::{AceMsg, ProtoMsg};
-pub use protocol::{Actions, Protocol};
+pub use protocol::{Actions, GrantSet, Protocol};
 pub use region::RegionEntry;
 pub use rt::{AceRt, DEFAULT_COALESCE};
 pub use space::SpaceEntry;

@@ -44,6 +44,34 @@ impl Actions {
     }
 }
 
+/// The cross-node concurrent-section combinations a protocol's coherence
+/// discipline legitimately grants — the conformance checker's ground
+/// truth (`ace-check`). Two read sections on different nodes are always
+/// legal; the interesting questions are whether two *write* sections may
+/// overlap, and whether a write section may overlap a *read* section.
+/// A sequentially-consistent invalidation protocol grants neither; an
+/// update protocol that pushes writes to standing copies grants both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantSet {
+    /// Two nodes may hold write sections on one region concurrently.
+    pub write_write: bool,
+    /// A write section on one node may overlap a read section on another.
+    pub read_write: bool,
+}
+
+impl GrantSet {
+    /// The exclusive discipline (single-writer, no readers during a
+    /// write): what the default sequentially-consistent protocol grants.
+    pub fn exclusive() -> Self {
+        GrantSet { write_write: false, read_write: false }
+    }
+
+    /// Fully concurrent: any combination of sections may overlap.
+    pub fn concurrent() -> Self {
+        GrantSet { write_write: true, read_write: true }
+    }
+}
+
 /// A coherence protocol with full access control.
 ///
 /// One protocol object is instantiated per space per node (protocols are
@@ -81,6 +109,16 @@ pub trait Protocol: 'static {
     /// the direct-dispatch optimization).
     fn null_actions(&self) -> Actions {
         Actions::empty()
+    }
+
+    /// Which concurrent cross-node section combinations this protocol can
+    /// legitimately grant. The conformance checker flags overlapping
+    /// sections outside this set as [`crate::AceError::Conformance`]
+    /// violations. The default is fully exclusive — correct for any
+    /// single-writer protocol; update-style protocols that deliberately
+    /// let sections overlap must widen it.
+    fn grants(&self) -> GrantSet {
+        GrantSet::exclusive()
     }
 
     /// A region was just allocated at its home node.

@@ -8,8 +8,9 @@ use std::sync::Arc;
 use ace_machine::pod::{self, Pod};
 use ace_machine::{CoalescePolicy, Envelope, EventKind, Hook, Node};
 
+use crate::check::Checker;
 use crate::counters::OpCounters;
-use crate::error::AceError;
+use crate::error::{AceError, ConformanceKind};
 use crate::ids::{RegionId, SpaceId};
 use crate::msg::{AceMsg, ProtoMsg};
 use crate::protocol::{Actions, Protocol};
@@ -85,6 +86,10 @@ pub struct AceRt<'n> {
     /// escape hatch: equivalence tests run the same program with this off
     /// and on and demand identical messages, bytes, and data).
     fast_enabled: Cell<bool>,
+    /// The conformance layer (`ace-check`): inert under `CheckMode::Off`,
+    /// otherwise validates sections, accesses, and cross-node overlap
+    /// against what the protocol granted. See [`crate::check`].
+    checker: Checker,
 }
 
 impl<'n> AceRt<'n> {
@@ -109,6 +114,7 @@ impl<'n> AceRt<'n> {
             counters: RefCell::new(OpCounters::default()),
             last_hook: Cell::new("none"),
             fast_enabled: Cell::new(true),
+            checker: Checker::new(node.check_mode()),
         };
         // Coalescing is on by default at the runtime layer (like the fast
         // paths): protocol fan-out — update pushes, invalidation rounds —
@@ -720,6 +726,47 @@ impl<'n> AceRt<'n> {
         self.node.charge(self.node.cost().fast_path);
     }
 
+    /// Checker hook for an access-section open: runs after the start hook
+    /// completed and the section counter was incremented, so the recorded
+    /// vector clock dominates every message the hook exchanged. Only the
+    /// outermost open of a nested section records.
+    #[inline]
+    fn check_open(&self, e: &RegionEntry, write: bool) {
+        if !self.checker.enabled() {
+            return;
+        }
+        let active = if write { e.write_active.get() } else { e.read_active.get() };
+        if active != 1 {
+            return;
+        }
+        let proto = self.space(e.space).proto();
+        self.checker.on_open(self.node, e.id, write, proto.name(), proto.grants());
+    }
+
+    /// Checker hook for an access-section close: runs after the section
+    /// counter was decremented but *before* the end hook dispatches, so
+    /// write-back/release messages the hook sends carry a clock that
+    /// dominates the recorded close. Only the outermost close records.
+    #[inline]
+    fn check_close(&self, e: &RegionEntry, write: bool) {
+        if !self.checker.enabled() {
+            return;
+        }
+        let active = if write { e.write_active.get() } else { e.read_active.get() };
+        if active != 0 {
+            return;
+        }
+        self.checker.on_close(self.node, e.id, write);
+    }
+
+    /// Violations the conformance checker has recorded on this node so
+    /// far. Cross-node conflicting-section reports appear on node 0 only,
+    /// after [`AceRt::shutdown`] has run its analysis. Always empty under
+    /// `CheckMode::Off`.
+    pub fn violations(&self) -> Vec<AceError> {
+        self.checker.violations()
+    }
+
     /// `ACE_START_READ`, dispatched through the region's space.
     pub fn start_read(&self, r: RegionId) {
         let e = self.entry(r);
@@ -727,6 +774,7 @@ impl<'n> AceRt<'n> {
         if self.fast_hit(&e, Actions::START_READ) {
             self.fast_charge(Hook::StartRead);
             e.read_active.set(e.read_active.get() + 1);
+            self.check_open(&e, false);
             return;
         }
         self.dispatch_charge();
@@ -735,6 +783,7 @@ impl<'n> AceRt<'n> {
         proto.start_read(self, &e);
         self.hook_exit(st0, Hook::StartRead, &e, proto.name());
         e.read_active.set(e.read_active.get() + 1);
+        self.check_open(&e, false);
     }
 
     /// `ACE_END_READ`.
@@ -743,6 +792,7 @@ impl<'n> AceRt<'n> {
         self.counters.borrow_mut().ends += 1;
         assert!(e.read_active.get() > 0, "end_read outside a read section on {r}");
         e.read_active.set(e.read_active.get() - 1);
+        self.check_close(&e, false);
         if self.fast_hit(&e, Actions::END_READ) {
             self.fast_charge(Hook::EndRead);
             return;
@@ -761,6 +811,7 @@ impl<'n> AceRt<'n> {
         if self.fast_hit(&e, Actions::START_WRITE) {
             self.fast_charge(Hook::StartWrite);
             e.write_active.set(e.write_active.get() + 1);
+            self.check_open(&e, true);
             return;
         }
         self.dispatch_charge();
@@ -769,6 +820,7 @@ impl<'n> AceRt<'n> {
         proto.start_write(self, &e);
         self.hook_exit(st0, Hook::StartWrite, &e, proto.name());
         e.write_active.set(e.write_active.get() + 1);
+        self.check_open(&e, true);
     }
 
     /// `ACE_END_WRITE`.
@@ -777,6 +829,7 @@ impl<'n> AceRt<'n> {
         self.counters.borrow_mut().ends += 1;
         assert!(e.write_active.get() > 0, "end_write outside a write section on {r}");
         e.write_active.set(e.write_active.get() - 1);
+        self.check_close(&e, true);
         if self.fast_hit(&e, Actions::END_WRITE) {
             self.fast_charge(Hook::EndWrite);
             return;
@@ -812,6 +865,7 @@ impl<'n> AceRt<'n> {
         if self.fast_hit(&e, Actions::START_READ) {
             self.fast_charge(Hook::StartRead);
             e.read_active.set(e.read_active.get() + 1);
+            self.check_open(&e, false);
             return;
         }
         self.direct_charge();
@@ -819,6 +873,7 @@ impl<'n> AceRt<'n> {
         proto.start_read(self, &e);
         self.hook_exit(st0, Hook::StartRead, &e, proto.name());
         e.read_active.set(e.read_active.get() + 1);
+        self.check_open(&e, false);
     }
 
     /// `ACE_END_READ` with a statically-resolved protocol. Tolerates an
@@ -828,6 +883,7 @@ impl<'n> AceRt<'n> {
         let e = self.entry(r);
         self.counters.borrow_mut().ends += 1;
         e.read_active.set(e.read_active.get().saturating_sub(1));
+        self.check_close(&e, false);
         if self.fast_hit(&e, Actions::END_READ) {
             self.fast_charge(Hook::EndRead);
             return;
@@ -845,6 +901,7 @@ impl<'n> AceRt<'n> {
         if self.fast_hit(&e, Actions::START_WRITE) {
             self.fast_charge(Hook::StartWrite);
             e.write_active.set(e.write_active.get() + 1);
+            self.check_open(&e, true);
             return;
         }
         self.direct_charge();
@@ -852,6 +909,7 @@ impl<'n> AceRt<'n> {
         proto.start_write(self, &e);
         self.hook_exit(st0, Hook::StartWrite, &e, proto.name());
         e.write_active.set(e.write_active.get() + 1);
+        self.check_open(&e, true);
     }
 
     /// `ACE_END_WRITE` with a statically-resolved protocol. Tolerates an
@@ -860,6 +918,7 @@ impl<'n> AceRt<'n> {
         let e = self.entry(r);
         self.counters.borrow_mut().ends += 1;
         e.write_active.set(e.write_active.get().saturating_sub(1));
+        self.check_close(&e, true);
         if self.fast_hit(&e, Actions::END_WRITE) {
             self.fast_charge(Hook::EndWrite);
             return;
@@ -947,7 +1006,20 @@ impl<'n> AceRt<'n> {
     /// that accesses happen between `START` and `END` annotations.
     pub fn with<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&[T]) -> R) -> R {
         let e = self.entry(r);
-        debug_assert!(e.busy(), "data access outside an access section on {r}");
+        if self.checker.enabled() {
+            if !e.busy() {
+                self.checker.report(
+                    self.node,
+                    AceError::Conformance {
+                        region: r,
+                        rank: self.rank(),
+                        kind: ConformanceKind::AccessOutsideSection { action: "read" },
+                    },
+                );
+            }
+        } else {
+            debug_assert!(e.busy(), "data access outside an access section on {r}");
+        }
         let d = e.data.borrow();
         f(pod::view(&d, Self::typed_count::<T>(&e)))
     }
@@ -966,7 +1038,26 @@ impl<'n> AceRt<'n> {
     /// write section (debug-asserted).
     pub fn with_mut<T: Pod, R>(&self, r: RegionId, f: impl FnOnce(&mut [T]) -> R) -> R {
         let e = self.entry(r);
-        debug_assert!(e.write_active.get() > 0, "mutable access outside a write section on {r}");
+        if self.checker.enabled() {
+            if e.write_active.get() == 0 {
+                // Distinguish "the protocol granted read, the program
+                // wrote" from a write with no section at all.
+                let kind = if e.read_active.get() > 0 {
+                    ConformanceKind::WriteUnderReadGrant
+                } else {
+                    ConformanceKind::WriteOutsideSection
+                };
+                self.checker.report(
+                    self.node,
+                    AceError::Conformance { region: r, rank: self.rank(), kind },
+                );
+            }
+        } else {
+            debug_assert!(
+                e.write_active.get() > 0,
+                "mutable access outside a write section on {r}"
+            );
+        }
         let count = Self::typed_count::<T>(&e);
         e.with_data_mut(|d| f(pod::view_mut(d, count)))
     }
@@ -1147,7 +1238,24 @@ impl<'n> AceRt<'n> {
 
     /// Final machine-wide barrier; after it returns every node has
     /// finished all protocol work it owes to others.
+    ///
+    /// Under an active check mode this is also where the conformance
+    /// checker runs its node-exit work, exactly once (the guard makes a
+    /// second call — the `run_ace` wrapper after a program that already
+    /// shut down — barrier-only, so a program can call `shutdown` itself
+    /// and then inspect [`AceRt::violations`]): leaked-section sweep,
+    /// then a gather of every node's section history at node 0, which
+    /// reports cross-node conflicting sections.
     pub fn shutdown(&self) {
+        self.machine_barrier();
+        if !self.checker.enabled() || !self.checker.begin_analysis() {
+            return;
+        }
+        self.checker.sweep_open(self.node);
+        let encoded = self.checker.encode_history(self.nprocs());
+        if let Some(all) = self.gather(0, &encoded) {
+            self.checker.analyze(self.node, &all);
+        }
         self.machine_barrier();
     }
 }

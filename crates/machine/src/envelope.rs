@@ -35,6 +35,12 @@ pub struct Envelope<M> {
     /// Sender's virtual clock when the message was injected (for a
     /// coalesced batch: when its wire envelope was flushed).
     pub send_time: u64,
+    /// Sender's vector clock at injection, present only when the machine
+    /// runs with conformance checking enabled ([`crate::CheckMode`]). For
+    /// a coalesced batch only the first delivered part carries the clock
+    /// (one merge per wire envelope). Checker metadata is metrologically
+    /// invisible: it contributes nothing to `bytes` or any cost charge.
+    pub vc: Option<std::sync::Arc<[u64]>>,
     /// Wire bytes — payload plus [`HEADER_BYTES`] — captured at send time
     /// by calling [`MsgSize::size_bytes`] once, so the receiver never
     /// re-measures the payload and both ends charge identical bytes.

@@ -30,7 +30,7 @@ pub mod stats;
 
 pub use cost::CostModel;
 pub use envelope::{Envelope, MsgSize};
-pub use node::{CoalescePolicy, Node};
+pub use node::{CheckMode, CoalescePolicy, Node};
 pub use pod::Pod;
 pub use spmd::{MachineBuilder, Spmd, SpmdResult};
 pub use stats::{MachineStats, NodeStats};

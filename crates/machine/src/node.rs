@@ -51,6 +51,33 @@ pub enum CoalescePolicy {
     FlushOnWait,
 }
 
+/// How the runtime conformance checker (`ace-check`) treats violations.
+///
+/// The machine layer only carries the mode and the vector-clock plumbing
+/// it needs (see [`Envelope::vc`]); the actual access-control checks live
+/// in the runtime layer above. Checking is metrologically invisible: no
+/// mode charges virtual time or bytes, so check-on and check-off runs of
+/// a conforming program report identical simulated costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// No checking; misuse falls back to the debug assertions.
+    #[default]
+    Off,
+    /// Record violations (per-node counters, structured errors, trace
+    /// events) but let the run continue.
+    Log,
+    /// Panic on the first violation, with the structured report as the
+    /// panic message.
+    Fail,
+}
+
+impl CheckMode {
+    /// Whether this mode performs any checking at all.
+    pub fn enabled(self) -> bool {
+        self != CheckMode::Off
+    }
+}
+
 /// Construction-time per-node knobs, fixed by the machine builder.
 #[derive(Debug, Clone)]
 pub(crate) struct NodeSetup {
@@ -58,6 +85,8 @@ pub(crate) struct NodeSetup {
     pub drain_batch: usize,
     pub trace: TraceConfig,
     pub coalesce: CoalescePolicy,
+    pub check: CheckMode,
+    pub det_seed: Option<u64>,
 }
 
 impl Default for NodeSetup {
@@ -67,6 +96,8 @@ impl Default for NodeSetup {
             drain_batch: DEFAULT_DRAIN_BATCH,
             trace: TraceConfig::off(),
             coalesce: CoalescePolicy::Off,
+            check: CheckMode::Off,
+            det_seed: None,
         }
     }
 }
@@ -85,6 +116,8 @@ pub(crate) enum Wire<M> {
         wire_bytes: usize,
         /// `(msg, payload_bytes)` in send order.
         parts: Vec<(M, usize)>,
+        /// Sender's vector clock at flush, when checking is enabled.
+        vc: Option<Arc<[u64]>>,
     },
 }
 
@@ -136,6 +169,17 @@ pub struct Node<M> {
     pending: Cell<usize>,
     /// Structured event sink; a no-op unless the builder enabled tracing.
     sink: TraceSink,
+    /// Conformance-checking mode (the runtime layer does the checking; the
+    /// node carries the mode, the vector clock, and the violation count).
+    check: CheckMode,
+    /// Seed for the deterministic inbox scheduler, when enabled.
+    det_seed: Option<u64>,
+    /// This node's vector clock (one component per rank), maintained only
+    /// when `check` is enabled: ticked on sends and checker-visible
+    /// events, merged from [`Envelope::vc`] on absorb.
+    vc: RefCell<Vec<u64>>,
+    /// Conformance violations recorded against this node.
+    violations: Cell<u64>,
     /// Rank of the first peer whose thread died by panic, or -1. Shared by
     /// every node of the machine; see [`crate::Spmd`].
     failed: Arc<AtomicIsize>,
@@ -171,6 +215,10 @@ impl<M: MsgSize + Send> Node<M> {
             outbuf: RefCell::new((0..nprocs).map(|_| Vec::new()).collect()),
             pending: Cell::new(0),
             sink: TraceSink::new(&setup.trace),
+            check: setup.check,
+            det_seed: setup.det_seed,
+            vc: RefCell::new(if setup.check.enabled() { vec![0; nprocs] } else { Vec::new() }),
+            violations: Cell::new(0),
             failed,
         }
     }
@@ -229,6 +277,48 @@ impl<M: MsgSize + Send> Node<M> {
         self.coalesce.set(policy);
     }
 
+    /// The conformance-checking mode this machine was built with.
+    pub fn check_mode(&self) -> CheckMode {
+        self.check
+    }
+
+    /// Record one conformance violation against this node (called by the
+    /// runtime checker; surfaced through [`NodeStats::violations`]).
+    pub fn note_violation(&self) {
+        self.violations.set(self.violations.get() + 1);
+    }
+
+    /// Conformance violations recorded against this node so far.
+    pub fn violations(&self) -> u64 {
+        self.violations.get()
+    }
+
+    /// Tick this node's own vector-clock component and return a snapshot.
+    /// The checker calls this at every event it wants causally ordered
+    /// (section opens/closes); panics if checking is off.
+    pub fn vc_tick(&self) -> Arc<[u64]> {
+        debug_assert!(self.check.enabled(), "vector clocks require a check mode");
+        let mut vc = self.vc.borrow_mut();
+        vc[self.rank] += 1;
+        vc.as_slice().into()
+    }
+
+    /// Tick-and-snapshot for an outgoing wire envelope, or `None` when
+    /// checking is off (the common case: no allocation, one branch).
+    fn vc_stamp(&self) -> Option<Arc<[u64]>> {
+        self.check.enabled().then(|| self.vc_tick())
+    }
+
+    /// Merge a peer's vector clock into this node's (elementwise max,
+    /// then tick own component) — the receive half of the piggyback.
+    fn vc_merge(&self, other: &[u64]) {
+        let mut vc = self.vc.borrow_mut();
+        for (mine, theirs) in vc.iter_mut().zip(other) {
+            *mine = (*mine).max(*theirs);
+        }
+        vc[self.rank] += 1;
+    }
+
     /// Inject a message to `dst`. Under [`CoalescePolicy::Off`] this
     /// charges send overhead and emits one wire envelope; otherwise the
     /// message joins `dst`'s coalescing buffer (charging `pack_cost`) and
@@ -261,7 +351,13 @@ impl<M: MsgSize + Send> Node<M> {
                         },
                     );
                 }
-                let env = Envelope { src: self.rank, send_time: self.clock.get(), bytes, msg };
+                let env = Envelope {
+                    src: self.rank,
+                    send_time: self.clock.get(),
+                    bytes,
+                    vc: self.vc_stamp(),
+                    msg,
+                };
                 // A send can only fail if the destination thread already
                 // exited, which means the SPMD program violated its
                 // quiescence contract; losing the message is the faithful
@@ -352,7 +448,13 @@ impl<M: MsgSize + Send> Node<M> {
                 },
             );
         }
-        let wire = Wire::Batch { src: self.rank, send_time: self.clock.get(), wire_bytes, parts };
+        let wire = Wire::Batch {
+            src: self.rank,
+            send_time: self.clock.get(),
+            wire_bytes,
+            parts,
+            vc: self.vc_stamp(),
+        };
         let _ = self.txs[dst].send(wire);
     }
 
@@ -371,12 +473,15 @@ impl<M: MsgSize + Send> Node<M> {
                     env,
                 });
             }
-            Wire::Batch { src, send_time, wire_bytes, parts } => {
+            Wire::Batch { src, send_time, wire_bytes, parts, vc } => {
                 let arrival = send_time + self.cost.wire_time(wire_bytes);
                 let subs = parts.len() as u32;
+                let mut vc = vc;
                 for (i, (msg, payload)) in parts.into_iter().enumerate() {
+                    // Only the batch's first delivered part carries the
+                    // sender's vector clock: one merge per wire envelope.
                     inbox.push_back(Inbound {
-                        env: Envelope { src, send_time, bytes: payload, msg },
+                        env: Envelope { src, send_time, bytes: payload, vc: vc.take(), msg },
                         arrival,
                         charge: if i == 0 { self.cost.recv_overhead } else { self.cost.pack_cost },
                         wire: (i == 0).then_some((subs, wire_bytes as u32)),
@@ -402,14 +507,53 @@ impl<M: MsgSize + Send> Node<M> {
         }
     }
 
+    /// Pop the next inbox entry. Default (wall-clock) scheduling is plain
+    /// FIFO over the drained inbox. With a deterministic seed installed,
+    /// the pop instead considers each source's *head* entry (per-pair FIFO
+    /// — the delivery-order guarantee protocols rely on — is preserved)
+    /// and picks the minimum by `(arrival, mix(seed, src, arrival))`: a
+    /// virtual-time-respecting order whose ties break by seeded hash
+    /// rather than by which sender's thread won the wall-clock race. This
+    /// is a best-effort replay heuristic — the candidate set still depends
+    /// on what has physically arrived — but two runs whose waits see the
+    /// same candidate sets replay identically.
+    fn pop_inbox(&self, inbox: &mut VecDeque<Inbound<M>>) -> Option<Inbound<M>> {
+        let seed = match self.det_seed {
+            Some(s) => s,
+            None => return inbox.pop_front(),
+        };
+        if inbox.len() <= 1 {
+            return inbox.pop_front();
+        }
+        // Sources whose head entry has been considered; ranks are bounded
+        // by MAX_NODES = 64, so a u64 bitmask covers them.
+        let mut seen: u64 = 0;
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (i, inb) in inbox.iter().enumerate() {
+            let bit = 1u64 << (inb.env.src as u64 & 63);
+            if seen & bit != 0 {
+                continue;
+            }
+            seen |= bit;
+            let key = (inb.arrival, det_mix(seed, inb.env.src as u64, inb.arrival));
+            if best.is_none_or(|(a, m, _)| (key.0, key.1) < (a, m)) {
+                best = Some((key.0, key.1, i));
+            }
+        }
+        let (_, _, idx) = best?;
+        inbox.remove(idx)
+    }
+
     /// Non-blocking receive. On delivery the local clock advances to cover
     /// the message's flight time and the receive overhead is charged.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
         let mut inbox = self.inbox.borrow_mut();
-        if inbox.is_empty() {
+        if inbox.is_empty() || self.det_seed.is_some() {
+            // Deterministic mode drains on every pop so the seeded order
+            // sees the widest (least wall-clock-dependent) candidate set.
             self.drain_burst(&mut inbox);
         }
-        let inb = inbox.pop_front()?;
+        let inb = self.pop_inbox(&mut inbox)?;
         drop(inbox);
         self.absorb(&inb);
         Some(inb.env)
@@ -426,16 +570,20 @@ impl<M: MsgSize + Send> Node<M> {
     /// Panics if the channel is disconnected: every peer's thread has
     /// exited, so no message can ever arrive and waiting is futile.
     pub fn recv_timeout(&self, d: Duration) -> Option<Envelope<M>> {
-        if let Some(inb) = self.inbox.borrow_mut().pop_front() {
-            self.absorb(&inb);
-            return Some(inb.env);
+        {
+            let mut inbox = self.inbox.borrow_mut();
+            if let Some(inb) = self.pop_inbox(&mut inbox) {
+                drop(inbox);
+                self.absorb(&inb);
+                return Some(inb.env);
+            }
         }
         self.flush_coalesced();
         match self.rx.recv_timeout(d) {
             Ok(w) => {
                 let mut inbox = self.inbox.borrow_mut();
                 self.enqueue_wire(w, &mut inbox);
-                let inb = inbox.pop_front().expect("wire expands to at least one message");
+                let inb = self.pop_inbox(&mut inbox).expect("wire expands to at least one message");
                 drop(inbox);
                 self.absorb(&inb);
                 Some(inb.env)
@@ -451,6 +599,9 @@ impl<M: MsgSize + Send> Node<M> {
         let now = self.clock.get().max(inb.arrival) + inb.charge;
         self.clock.set(now);
         self.msgs_recv.set(self.msgs_recv.get() + 1);
+        if let Some(vc) = &inb.env.vc {
+            self.vc_merge(vc);
+        }
         if self.sink.enabled() {
             if let Some((subs, wire_bytes)) = inb.wire {
                 self.sink.emit(
@@ -599,9 +750,20 @@ impl<M: MsgSize + Send> Node<M> {
             bytes_sent: self.bytes_sent.get(),
             wire_bytes: self.wire_bytes_sent.get(),
             msgs_recv: self.msgs_recv.get(),
+            violations: self.violations.get(),
             final_clock: self.clock.get(),
         }
     }
+}
+
+/// SplitMix64-style tie-break hash for the deterministic scheduler: a
+/// pure function of (seed, source rank, arrival time), so two runs with
+/// the same seed rank identical candidates identically.
+fn det_mix(seed: u64, src: u64, arrival: u64) -> u64 {
+    let mut z = seed ^ src.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ arrival.rotate_left(17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]

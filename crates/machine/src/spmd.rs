@@ -14,7 +14,9 @@ use crossbeam::channel::unbounded;
 
 use crate::cost::CostModel;
 use crate::envelope::MsgSize;
-use crate::node::{CoalescePolicy, Node, NodeSetup, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG};
+use crate::node::{
+    CheckMode, CoalescePolicy, Node, NodeSetup, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG,
+};
 use crate::stats::{MachineStats, NodeStats};
 use crate::MAX_NODES;
 
@@ -54,6 +56,8 @@ pub struct MachineBuilder {
     watchdog: Duration,
     drain_batch: usize,
     coalesce: CoalescePolicy,
+    check: CheckMode,
+    det_seed: Option<u64>,
 }
 
 impl Default for MachineBuilder {
@@ -72,6 +76,8 @@ impl MachineBuilder {
             watchdog: DEFAULT_WATCHDOG,
             drain_batch: DEFAULT_DRAIN_BATCH,
             coalesce: CoalescePolicy::Off,
+            check: CheckMode::Off,
+            det_seed: None,
         }
     }
 
@@ -114,6 +120,24 @@ impl MachineBuilder {
         self
     }
 
+    /// Runtime conformance-checking mode (off by default). `Log` records
+    /// violations and keeps going; `Fail` panics on the first one. The
+    /// machine layer carries the mode and the vector-clock piggyback; the
+    /// runtime above it performs the access-control checks.
+    pub fn check(mut self, mode: CheckMode) -> Self {
+        self.check = mode;
+        self
+    }
+
+    /// Install the seeded deterministic inbox scheduler: ready messages
+    /// pop in `(arrival, seeded hash)` order instead of wall-clock arrival
+    /// order, so a run that reported a violation can be replayed. Per-pair
+    /// FIFO delivery is preserved. Best-effort: see `Node::pop_inbox`.
+    pub fn deterministic(mut self, seed: u64) -> Self {
+        self.det_seed = Some(seed);
+        self
+    }
+
     /// Launch `nprocs` simulated processors, each running `f` with its own
     /// [`Node`], in the single-program-multiple-data style of the paper
     /// ("a single user thread per processor (SPMD)", §3.1).
@@ -145,6 +169,8 @@ impl MachineBuilder {
             drain_batch: self.drain_batch,
             trace: self.trace.clone(),
             coalesce: self.coalesce,
+            check: self.check,
+            det_seed: self.det_seed,
         };
         let mut txs = Vec::with_capacity(nprocs);
         let mut rxs = Vec::with_capacity(nprocs);
@@ -361,6 +387,83 @@ mod tests {
         let check = ace_trace::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
         assert_eq!(check.flow_starts, r.stats.total_wire_msgs());
         assert_eq!(check.flows_matched, r.stats.total_wire_msgs());
+    }
+
+    #[test]
+    fn overflowed_ring_still_exports_valid_flows() {
+        // A capacity-2 ring on both nodes evicts most Send events on the
+        // sender while recvs referencing them may survive on the receiver
+        // (and vice versa). The Chrome export must not emit dangling flow
+        // ends for the orphaned recvs — the validator now rejects them.
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::cm5())
+            .trace(TraceConfig::with_capacity(2))
+            .run::<u64, _, _>(|node| {
+                if node.rank() == 0 {
+                    for i in 0..10u64 {
+                        node.send(1, i + 1);
+                    }
+                } else {
+                    let seen = std::cell::Cell::new(0u64);
+                    node.poll_until(
+                        "10 msgs",
+                        |_, _| seen.set(seen.get() + 1),
+                        || seen.get() == 10,
+                    );
+                }
+            });
+        let trace = r.trace.expect("tracing was enabled");
+        assert!(
+            trace.nodes.iter().any(|n| n.dropped > 0),
+            "test premise: the ring must actually overflow"
+        );
+        let check = ace_trace::validate_chrome_trace(&trace.to_chrome_json())
+            .expect("overflowed trace must still export valid flows");
+        assert!(check.flow_ends <= check.flow_starts);
+        assert_eq!(check.flows_matched, check.flow_ends, "every emitted arrow has both ends");
+    }
+
+    #[test]
+    fn deterministic_scheduler_replays_and_preserves_fifo() {
+        // Five senders race two messages each at node 0, which only starts
+        // popping after everything has arrived: the pop order is then
+        // decided entirely by the seeded scheduler, so two runs with the
+        // same seed must agree, and per-source order must stay FIFO.
+        let run = |seed: u64| {
+            let r = Spmd::builder()
+                .nprocs(6)
+                .cost(CostModel::cm5())
+                .deterministic(seed)
+                .run::<u64, _, _>(|node| {
+                    if node.rank() == 0 {
+                        std::thread::sleep(Duration::from_millis(100));
+                        let order = std::cell::RefCell::new(Vec::new());
+                        node.poll_until(
+                            "10 msgs",
+                            |_, env| order.borrow_mut().push((env.src, env.msg)),
+                            || order.borrow().len() == 10,
+                        );
+                        order.into_inner()
+                    } else {
+                        node.send(0, node.rank() as u64 * 10 + 1);
+                        node.send(0, node.rank() as u64 * 10 + 2);
+                        Vec::new()
+                    }
+                });
+            r.results[0].clone()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must replay the same pop order");
+        for src in 1..=5usize {
+            let msgs: Vec<u64> = a.iter().filter(|(s, _)| *s == src).map(|(_, m)| *m).collect();
+            assert_eq!(
+                msgs,
+                vec![src as u64 * 10 + 1, src as u64 * 10 + 2],
+                "per-source FIFO must be preserved"
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct NodeStats {
     pub wire_bytes: u64,
     /// Logical messages received and handled by this node.
     pub msgs_recv: u64,
+    /// Conformance violations the runtime checker recorded against this
+    /// node (always zero when the machine runs with `CheckMode::Off`).
+    pub violations: u64,
     /// Final virtual clock, filled in when the node's program returns.
     pub final_clock: u64,
 }
@@ -63,6 +66,11 @@ impl MachineStats {
         self.nodes.iter().map(|n| n.wire_bytes).sum()
     }
 
+    /// Total conformance violations recorded across all nodes.
+    pub fn total_violations(&self) -> u64 {
+        self.nodes.iter().map(|n| n.violations).sum()
+    }
+
     /// Simulated completion time of the run: the maximum final clock.
     pub fn sim_time(&self) -> u64 {
         self.nodes.iter().map(|n| n.final_clock).max().unwrap_or(0)
@@ -83,6 +91,7 @@ mod tests {
                     bytes_sent: 100,
                     wire_bytes: 80,
                     msgs_recv: 1,
+                    violations: 1,
                     final_clock: 50,
                 },
                 NodeStats {
@@ -91,6 +100,7 @@ mod tests {
                     bytes_sent: 10,
                     wire_bytes: 10,
                     msgs_recv: 4,
+                    violations: 0,
                     final_clock: 80,
                 },
             ],
@@ -99,6 +109,7 @@ mod tests {
         assert_eq!(stats.total_wire_msgs(), 4);
         assert_eq!(stats.total_bytes(), 110);
         assert_eq!(stats.total_wire_bytes(), 90);
+        assert_eq!(stats.total_violations(), 1);
         assert_eq!(stats.nodes[0].headers_saved(), 20);
         assert_eq!(stats.sim_time(), 80);
     }

@@ -14,7 +14,7 @@
 //! what home adds per acquisition; applications that advance the counter
 //! by one per job use the default of 1.
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry};
 
 /// Wire opcodes.
 pub mod op {
@@ -78,6 +78,13 @@ impl Protocol for FetchAddCounter {
             .union(Actions::END_WRITE)
             .union(Actions::UNLOCK)
             .union(Actions::UNMAP)
+    }
+
+    // Sections carry no coherence meaning here — mutation happens under
+    // the lock, and lock holders serialize at the home — so any section
+    // combination may overlap.
+    fn grants(&self) -> GrantSet {
+        GrantSet::concurrent()
     }
 
     // All four access hooks are unconditional no-ops (the protocol's work

@@ -17,7 +17,7 @@
 //! so every write issued before a barrier is applied machine-wide before
 //! any node passes that barrier.
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -147,6 +147,13 @@ impl Protocol for DynamicUpdate {
 
     fn null_actions(&self) -> Actions {
         Actions::END_READ.union(Actions::UNMAP)
+    }
+
+    // An update protocol: writers push new values to every standing copy,
+    // so readers keep sections open while a writer writes, and multiple
+    // writers (of disjoint data, ordered by the application) may overlap.
+    fn grants(&self) -> GrantSet {
+        GrantSet::concurrent()
     }
 
     fn on_create(&self, rt: &AceRt, e: &RegionEntry) {

@@ -10,7 +10,7 @@
 //! ordering (locks/barriers) guarantees a block is complete before its
 //! consumers fetch it.
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -75,6 +75,13 @@ impl Protocol for HomeOwned {
             .union(Actions::END_WRITE)
             .union(Actions::END_READ)
             .union(Actions::UNMAP)
+    }
+
+    // Writes go straight to the home copy; remote readers fetch on
+    // demand and may hold read sections while the single writer writes.
+    // Two concurrent writers are never granted.
+    fn grants(&self) -> GrantSet {
+        GrantSet { write_write: false, read_write: true }
     }
 
     fn on_create(&self, rt: &AceRt, e: &RegionEntry) {

@@ -12,7 +12,7 @@
 //! The machinery reuses the SC protocol's round discipline: one round in
 //! flight per region, later requests parked in the blocked queue.
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry};
 
 use crate::auxbits::{BUSY, WANTED};
 use crate::states::*;
@@ -136,6 +136,14 @@ impl Protocol for Migratory {
 
     fn null_actions(&self) -> Actions {
         Actions::END_READ.union(Actions::END_WRITE).union(Actions::UNMAP)
+    }
+
+    // The region lives wholly on whichever node holds it: sections are
+    // exclusive by construction (stated explicitly, though it matches
+    // the trait default, because the checker treats this as the
+    // protocol's declared contract).
+    fn grants(&self) -> GrantSet {
+        GrantSet::exclusive()
     }
 
     fn on_create(&self, rt: &AceRt, e: &RegionEntry) {

@@ -6,7 +6,7 @@
 //! handlers are null, so the compiler's direct-dispatch pass deletes every
 //! protocol call on accesses that provably use this protocol.
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry};
 
 /// A protocol where every action is a no-op and data is purely local.
 #[derive(Default)]
@@ -35,6 +35,11 @@ impl Protocol for NullProtocol {
             .union(Actions::END_READ)
             .union(Actions::START_WRITE)
             .union(Actions::END_WRITE)
+    }
+
+    // No coherence at all: nothing is forbidden, so nothing conflicts.
+    fn grants(&self) -> GrantSet {
+        GrantSet::concurrent()
     }
 
     // Every access hook is an unconditional no-op, so every access is

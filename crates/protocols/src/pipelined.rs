@@ -20,7 +20,7 @@
 //! master. Region data is interpreted as `f64`s, matching its use for
 //! force accumulation.
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -107,6 +107,13 @@ impl Protocol for PipelinedWrite {
 
     fn null_actions(&self) -> Actions {
         Actions::END_READ.union(Actions::UNMAP)
+    }
+
+    // Pipelined updates deliberately relax consistency: writers stream
+    // updates to standing copies without waiting, so overlapping
+    // sections of any kind are part of the contract.
+    fn grants(&self) -> GrantSet {
+        GrantSet::concurrent()
     }
 
     fn on_create(&self, rt: &AceRt, e: &RegionEntry) {

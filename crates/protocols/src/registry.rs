@@ -11,7 +11,7 @@
 
 use std::rc::Rc;
 
-use ace_core::{Actions, Protocol};
+use ace_core::{Actions, GrantSet, Protocol};
 
 use crate::{
     DynamicUpdate, FetchAddCounter, HomeOwned, Migratory, NullProtocol, PipelinedWrite,
@@ -98,6 +98,9 @@ pub struct ProtocolInfo {
     pub optimizable: bool,
     /// Hooks that are null (candidates for direct-dispatch removal).
     pub null_actions: Actions,
+    /// Which concurrent cross-node section combinations the protocol
+    /// grants (the conformance checker's ground truth).
+    pub grants: GrantSet,
 }
 
 /// The full registry, in registration order.
@@ -120,6 +123,7 @@ pub fn all_protocols() -> Vec<ProtocolInfo> {
             spec,
             optimizable: p.optimizable(),
             null_actions: p.null_actions(),
+            grants: p.grants(),
         }
     })
     .collect()
@@ -155,6 +159,19 @@ mod tests {
         assert!(i.null_actions.contains(Actions::START_READ));
         assert!(i.null_actions.contains(Actions::END_READ));
         assert!(!i.null_actions.contains(Actions::END_WRITE));
+    }
+
+    #[test]
+    fn grant_table_matches_protocol_disciplines() {
+        let g = |n: &str| info(n).unwrap().grants;
+        assert_eq!(g("SC"), GrantSet::exclusive());
+        assert_eq!(g("Migratory"), GrantSet::exclusive());
+        assert_eq!(g("Null"), GrantSet::concurrent());
+        assert_eq!(g("FetchAdd"), GrantSet::concurrent());
+        assert_eq!(g("Update"), GrantSet::concurrent());
+        assert_eq!(g("Pipelined"), GrantSet::concurrent());
+        assert_eq!(g("StaticUpdate"), GrantSet { write_write: false, read_write: true });
+        assert_eq!(g("HomeOwned"), GrantSet { write_write: false, read_write: true });
     }
 
     #[test]

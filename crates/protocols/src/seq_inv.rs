@@ -14,7 +14,7 @@
 //! which is how region-based DSMs reconcile handler asynchrony with
 //! section semantics).
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry};
 
 use crate::auxbits::{self, BUSY, INV_PENDING, RECALL_PENDING, WANTED};
 use crate::states::*;
@@ -214,6 +214,13 @@ impl Protocol for SeqInvalidate {
     // Sequential consistency forbids reordering protocol calls (§4.2).
     fn optimizable(&self) -> bool {
         false
+    }
+
+    // Sequential consistency: one writer, no concurrent readers during a
+    // write (stated explicitly, though it matches the trait default —
+    // this is the protocol's declared contract, not an omission).
+    fn grants(&self) -> GrantSet {
+        GrantSet::exclusive()
     }
 
     fn on_create(&self, rt: &AceRt, e: &RegionEntry) {

@@ -14,7 +14,7 @@
 //!
 //! Usage contract (asserted): regions are written only at their home node.
 
-use ace_core::{AceRt, Actions, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
+use ace_core::{AceRt, Actions, GrantSet, ProtoMsg, Protocol, RegionEntry, SpaceEntry};
 
 use crate::states::*;
 
@@ -102,6 +102,13 @@ impl Protocol for StaticUpdate {
             .union(Actions::END_READ)
             .union(Actions::START_WRITE)
             .union(Actions::UNMAP)
+    }
+
+    // One writer updates the static copy set; standing readers keep
+    // their sections open across the push, so read/write overlap is
+    // granted but write/write is not.
+    fn grants(&self) -> GrantSet {
+        GrantSet { write_write: false, read_write: true }
     }
 
     fn on_create(&self, rt: &AceRt, e: &RegionEntry) {

@@ -52,9 +52,25 @@ impl MachineTrace {
     /// Export the merged trace as a Chrome `trace_event` JSON document.
     ///
     /// Message arrows are reconstructed at export time: each (src, dst)
-    /// channel is FIFO, so the k-th recv on a pair pairs with the k-th
-    /// send, and both sides derive the same flow id independently.
+    /// channel is FIFO, so recvs on a pair pair with sends in order. Ring
+    /// eviction complicates this: the surviving Sends and Recvs of a pair
+    /// are each a *suffix* of the pair's FIFO stream, and the suffixes
+    /// need not start at the same message (a Send can be evicted while
+    /// its matching Recv survives, or vice versa). The export therefore
+    /// aligns each Recv against the surviving Send list by the sender
+    /// timestamp the Recv carries (`sent_at`), skipping sends whose recvs
+    /// were evicted and *suppressing* the flow-end of a recv whose send
+    /// was evicted — a dangling `s` renders as nothing in viewers, but a
+    /// dangling `f` draws an arrow from nowhere.
     pub fn to_chrome_json(&self) -> String {
+        // Pass 1: surviving Send times per (src, dst), in emission order
+        // (merged() preserves per-node order, so per-pair send order too).
+        let mut pair_sends: HashMap<(u16, u16), Vec<u64>> = HashMap::new();
+        for (rank, e) in self.merged() {
+            if let EventKind::Send { dst, .. } = &e.kind {
+                pair_sends.entry((rank as u16, *dst)).or_default().push(e.t);
+            }
+        }
         let mut out = String::with_capacity(64 * self.event_count() + 256);
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
         out.push_str(
@@ -70,7 +86,7 @@ impl MachineTrace {
             );
         }
         let mut send_k: HashMap<(usize, u16), u64> = HashMap::new();
-        let mut recv_k: HashMap<(u16, usize), u64> = HashMap::new();
+        let mut recv_p: HashMap<(u16, u16), usize> = HashMap::new();
         for (rank, e) in self.merged() {
             let t = ts(e.t);
             match &e.kind {
@@ -94,14 +110,26 @@ impl MachineTrace {
                 // to the wire envelope, so the export draws nothing here.
                 EventKind::Pack { .. } => {}
                 EventKind::Recv { src, tag, bytes, sent_at, subs } => {
-                    let k = recv_k.entry((*src, rank)).or_insert(0);
-                    let id = (*src as u64) << 48 | (rank as u64) << 32 | *k;
-                    *k += 1;
-                    let _ = write!(
-                        out,
-                        ",\n{{\"ph\":\"f\",\"pid\":0,\"tid\":{rank},\"ts\":{t},\"bp\":\"e\",\
-                         \"cat\":\"msg\",\"name\":\"{tag}\",\"id\":\"0x{id:016x}\"}}"
-                    );
+                    // Align against this pair's surviving sends: skip sends
+                    // whose recvs were evicted, and draw the arrow only when
+                    // this recv's sender timestamp matches a surviving send.
+                    let pair = (*src, rank as u16);
+                    let p = recv_p.entry(pair).or_insert(0);
+                    if let Some(sends) = pair_sends.get(&pair) {
+                        while *p < sends.len() && sends[*p] < *sent_at {
+                            *p += 1;
+                        }
+                        if *p < sends.len() && sends[*p] == *sent_at {
+                            let id = (*src as u64) << 48 | (rank as u64) << 32 | *p as u64;
+                            *p += 1;
+                            let _ = write!(
+                                out,
+                                ",\n{{\"ph\":\"f\",\"pid\":0,\"tid\":{rank},\"ts\":{t},\
+                                 \"bp\":\"e\",\"cat\":\"msg\",\"name\":\"{tag}\",\
+                                 \"id\":\"0x{id:016x}\"}}"
+                            );
+                        }
+                    }
                     let _ = write!(
                         out,
                         ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{rank},\"ts\":{t},\"s\":\"t\",\
@@ -130,6 +158,17 @@ impl MachineTrace {
                          \"args\":{{\"region\":\"{}\",\"from\":{from},\"to\":{to}}}}}",
                         region_str(*region),
                         region_str(*region)
+                    );
+                }
+                EventKind::Violation { region, what } => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{rank},\"ts\":{t},\"s\":\"t\",\
+                         \"cat\":\"violation\",\"name\":\"violation {}\",\
+                         \"args\":{{\"region\":\"{}\",\"what\":\"{}\"}}}}",
+                        region_str(*region),
+                        region_str(*region),
+                        esc(what)
                     );
                 }
                 EventKind::Block { what } => {
@@ -171,7 +210,8 @@ pub struct ChromeCheck {
     pub instants: u64,
     /// `s` flow-start events (one per traced message send).
     pub flow_starts: u64,
-    /// `f` flow-end events (one per traced message recv).
+    /// `f` flow-end events (one per traced message recv whose matching
+    /// send survived ring eviction).
     pub flow_ends: u64,
     /// Flow ids seen on both an `s` and an `f` event — rendered arrows.
     pub flows_matched: u64,
@@ -242,6 +282,16 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeCheck, String> {
         }
     }
     check.tracks = last_ts.len() as u64;
+    // A flow-start without a matching end renders as nothing, but a
+    // flow-end without a start draws an arrow from nowhere: reject it.
+    for (id, &n) in &ends {
+        let s = starts.get(id).copied().unwrap_or(0);
+        if n > s {
+            return Err(format!(
+                "dangling flow end: id {id} has {n} flow-ends but only {s} flow-starts"
+            ));
+        }
+    }
     check.flows_matched =
         starts.iter().map(|(id, &n)| n.min(ends.get(id).copied().unwrap_or(0))).sum();
     Ok(check)
@@ -332,6 +382,103 @@ mod tests {
         assert_eq!(check.spans_opened, 3, "start_read + wait + handle");
         assert_eq!(check.spans_closed, 3);
         assert!(doc.contains("\"name\":\"RREQ\"") || doc.contains("RREQ"));
+    }
+
+    #[test]
+    fn evicted_send_suppresses_flow_end() {
+        // Node 1's first recv carries sent_at=10, but the matching send was
+        // evicted from node 0's ring (only the sends at t=20 and t=40
+        // survive). The export must not emit a dangling `f` for it, while
+        // still pairing the surviving sends with their recvs.
+        let trace = MachineTrace {
+            nodes: vec![
+                NodeTrace {
+                    rank: 0,
+                    dropped: 1,
+                    events: vec![
+                        ev(20, K::Send { dst: 1, tag: "proto", bytes: 24, subs: 1 }),
+                        ev(40, K::Send { dst: 1, tag: "proto", bytes: 24, subs: 1 }),
+                    ],
+                },
+                NodeTrace {
+                    rank: 1,
+                    dropped: 0,
+                    events: vec![
+                        ev(60, K::Recv { src: 0, tag: "proto", bytes: 24, sent_at: 10, subs: 1 }),
+                        ev(70, K::Recv { src: 0, tag: "proto", bytes: 24, sent_at: 20, subs: 1 }),
+                        ev(80, K::Recv { src: 0, tag: "proto", bytes: 24, sent_at: 40, subs: 1 }),
+                    ],
+                },
+            ],
+        };
+        let check = validate_chrome_trace(&trace.to_chrome_json()).unwrap();
+        assert_eq!(check.flow_starts, 2);
+        assert_eq!(check.flow_ends, 2, "the orphaned recv draws no arrow");
+        assert_eq!(check.flows_matched, 2);
+        assert_eq!(check.instants, 5, "2 send + 3 recv instants: the orphan keeps its instant");
+    }
+
+    #[test]
+    fn evicted_recv_skips_its_send() {
+        // The recv matching node 0's first send was evicted from node 1's
+        // ring; the surviving recv must pair with the *second* send, not
+        // inherit the first one's flow id.
+        let trace = MachineTrace {
+            nodes: vec![
+                NodeTrace {
+                    rank: 0,
+                    dropped: 0,
+                    events: vec![
+                        ev(20, K::Send { dst: 1, tag: "proto", bytes: 24, subs: 1 }),
+                        ev(40, K::Send { dst: 1, tag: "proto", bytes: 24, subs: 1 }),
+                    ],
+                },
+                NodeTrace {
+                    rank: 1,
+                    dropped: 1,
+                    events: vec![ev(
+                        80,
+                        K::Recv { src: 0, tag: "proto", bytes: 24, sent_at: 40, subs: 1 },
+                    )],
+                },
+            ],
+        };
+        let doc = trace.to_chrome_json();
+        let check = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(check.flow_starts, 2);
+        assert_eq!(check.flow_ends, 1);
+        assert_eq!(check.flows_matched, 1, "the surviving recv pairs with send #1");
+    }
+
+    #[test]
+    fn violation_events_export_as_instants() {
+        let trace = MachineTrace {
+            nodes: vec![NodeTrace {
+                rank: 0,
+                dropped: 0,
+                events: vec![ev(
+                    5,
+                    K::Violation {
+                        region: (1u64 << 48) | 2,
+                        what: "conformance violation on r1.2".into(),
+                    },
+                )],
+            }],
+        };
+        let doc = trace.to_chrome_json();
+        let check = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(check.instants, 1);
+        assert!(doc.contains("\"cat\":\"violation\""), "{doc}");
+        assert!(doc.contains("conformance violation on r1.2"), "{doc}");
+    }
+
+    #[test]
+    fn validator_rejects_dangling_flow_end() {
+        let doc = r#"{"traceEvents":[
+            {"ph":"f","pid":0,"tid":0,"ts":5.0,"bp":"e","name":"m","id":"0x1"}
+        ]}"#;
+        let err = validate_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("dangling flow end"), "{err}");
     }
 
     #[test]

@@ -198,6 +198,14 @@ pub enum EventKind {
         /// State code after.
         to: u32,
     },
+    /// The runtime conformance checker caught a violation on this node.
+    Violation {
+        /// Target region id bits, or [`NO_REGION`].
+        region: u64,
+        /// The structured report, rendered (an `AceError::Conformance`
+        /// Display string at the runtime layer).
+        what: Box<str>,
+    },
     /// The node blocked (entered a poll loop) waiting for `what`.
     Block {
         /// The caller-provided wait description.

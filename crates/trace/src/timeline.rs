@@ -91,6 +91,9 @@ pub struct TraceSummary {
     /// they cannot be derived from events — callers supply the count
     /// from the run's `OpCounters` via [`TraceSummary::with_fast_hits`].
     pub fast_hits: u64,
+    /// Conformance violations recorded in the trace
+    /// ([`EventKind::Violation`] events across all nodes).
+    pub violations: u64,
 }
 
 impl MachineTrace {
@@ -142,6 +145,7 @@ impl MachineTrace {
         let mut hooks: HashMap<(&'static str, &'static str), (u64, u64)> = HashMap::new();
         let mut tags: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
         let mut dropped = 0;
+        let mut violations = 0;
         for n in &self.nodes {
             dropped += n.dropped;
             // Open spans per node: (hook, proto, label, enter time).
@@ -169,6 +173,7 @@ impl MachineTrace {
                             row.1 += e.t.saturating_sub(t0);
                         }
                     }
+                    EventKind::Violation { .. } => violations += 1,
                     _ => {}
                 }
             }
@@ -183,7 +188,14 @@ impl MachineTrace {
             .map(|(tag, (msgs, logical, bytes))| TagRow { tag, msgs, logical, bytes })
             .collect();
         tags.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.tag.cmp(b.tag)));
-        TraceSummary { hooks, tags, events: self.event_count() as u64, dropped, fast_hits: 0 }
+        TraceSummary {
+            hooks,
+            tags,
+            events: self.event_count() as u64,
+            dropped,
+            fast_hits: 0,
+            violations,
+        }
     }
 
     /// Nodes whose trace ends inside a poll loop, with the hook and
@@ -265,6 +277,9 @@ impl TraceSummary {
         let _ = writeln!(s, "trace: {} events ({} dropped)", self.events, self.dropped);
         if self.fast_hits > 0 {
             let _ = writeln!(s, "fast-path hits: {} (absorbed before dispatch)", self.fast_hits);
+        }
+        if self.violations > 0 {
+            let _ = writeln!(s, "CONFORMANCE VIOLATIONS: {}", self.violations);
         }
         if !self.hooks.is_empty() {
             let _ =
@@ -374,6 +389,24 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("RREQ"));
         assert!(rendered.contains("4 logical in 2 wire envelopes (coalesced)"), "{rendered}");
+    }
+
+    #[test]
+    fn summary_counts_and_renders_violations() {
+        let t = MachineTrace {
+            nodes: vec![NodeTrace {
+                rank: 0,
+                dropped: 0,
+                events: vec![
+                    ev(5, K::Violation { region: 7, what: "write outside a section".into() }),
+                    ev(9, K::Violation { region: 7, what: "write outside a section".into() }),
+                ],
+            }],
+        };
+        let s = t.summary();
+        assert_eq!(s.violations, 2);
+        assert!(s.render().contains("CONFORMANCE VIOLATIONS: 2"), "{}", s.render());
+        assert_eq!(MachineTrace::default().summary().violations, 0);
     }
 
     #[test]
