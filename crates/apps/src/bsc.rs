@@ -185,7 +185,7 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
         for j in 0..p.nblocks {
             for i in j..p.nblocks {
                 if in_band(p, i, j) && owner(i, j, d.nprocs()) == rank {
-                    id_of.insert((i, j), all[rank][k]);
+                    id_of.insert((i, j), all.rank(rank)[k]);
                     k += 1;
                 }
             }

@@ -60,6 +60,9 @@ pub trait Dsm {
     /// Broadcast words from `root`. Collective. The payload is shared
     /// zero-copy with the wire messages.
     fn bcast(&self, root: usize, vals: &[u64]) -> Arc<[u64]>;
+    /// Gather every node's words at `root` (rank-ordered; `Some` only at
+    /// the root). Collective.
+    fn gather(&self, root: usize, vals: &[u64]) -> Option<Vec<Arc<[u64]>>>;
     /// All-reduce one u64. Collective.
     fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64;
     /// All-reduce one f64. Collective.
@@ -139,6 +142,9 @@ impl Dsm for AceDsm<'_, '_> {
     }
     fn bcast(&self, root: usize, vals: &[u64]) -> Arc<[u64]> {
         self.rt.bcast(root, vals)
+    }
+    fn gather(&self, root: usize, vals: &[u64]) -> Option<Vec<Arc<[u64]>>> {
+        self.rt.gather(root, vals)
     }
     fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64 {
         self.rt.allreduce_u64(val, op)
@@ -221,6 +227,9 @@ impl Dsm for CrlDsm<'_, '_> {
     fn bcast(&self, root: usize, vals: &[u64]) -> Arc<[u64]> {
         self.crl.bcast(root, vals)
     }
+    fn gather(&self, root: usize, vals: &[u64]) -> Option<Vec<Arc<[u64]>>> {
+        self.crl.gather(root, vals)
+    }
     fn allreduce_u64(&self, val: u64, op: fn(u64, u64) -> u64) -> u64 {
         self.crl.allreduce_u64(val, op)
     }
@@ -235,11 +244,71 @@ impl Dsm for CrlDsm<'_, '_> {
     }
 }
 
-/// Distribute each node's id list to everyone: node `k`'s `ids` arrive in
-/// slot `k`. A common setup step for the apps (the analogue of storing
-/// `address_t`s into shared bootstrap structures).
-pub fn exchange_ids<D: Dsm>(d: &D, ids: &[u64]) -> Vec<Arc<[u64]>> {
-    (0..d.nprocs()).map(|root| d.bcast(root, ids)).collect()
+/// Every node's bootstrap id list, exchanged machine-wide: one shared
+/// flat buffer plus an offset table, so an n-node exchange ships (and
+/// stores) O(total ids) once instead of n separate `Arc` payloads per
+/// node.
+///
+/// Layout of `data`: words `0..=n` are offsets into the flat id area
+/// (relative to its start, so `rank(r)` is the subslice between offsets
+/// `r` and `r+1`), followed by the ids of rank 0, rank 1, ... rank n-1.
+#[derive(Clone)]
+pub struct IdMap {
+    data: Arc<[u64]>,
+    n: usize,
+}
+
+impl IdMap {
+    /// Number of ranks in the exchange.
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    /// The ids rank `r` contributed.
+    pub fn rank(&self, r: usize) -> &[u64] {
+        let base = self.n + 1;
+        let (lo, hi) = (self.data[r] as usize, self.data[r + 1] as usize);
+        &self.data[base + lo..base + hi]
+    }
+
+    /// Iterate every rank's id slice, in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> {
+        (0..self.n).map(|r| self.rank(r))
+    }
+}
+
+/// Distribute each node's id list to everyone: node `k`'s `ids` land in
+/// slot `k` of the returned [`IdMap`]. A common setup step for the apps
+/// (the analogue of storing `address_t`s into shared bootstrap
+/// structures).
+///
+/// Runs as gather-at-0 + one broadcast — `2(n-1)` messages machine-wide
+/// instead of the `n(n-1)` of every rank broadcasting its own list, and
+/// every node ends up aliasing one shared buffer instead of holding `n`
+/// payloads. At 4096 nodes that is the difference between setup being
+/// O(n) and O(n²) in both messages and memory.
+pub fn exchange_ids<D: Dsm>(d: &D, ids: &[u64]) -> IdMap {
+    let n = d.nprocs();
+    let packed = match d.gather(0, ids) {
+        Some(per_rank) => {
+            // Root: offsets first (n+1 words, relative to the flat id
+            // area), then everyone's ids concatenated in rank order.
+            let total: usize = per_rank.iter().map(|v| v.len()).sum();
+            let mut packed = Vec::with_capacity(n + 1 + total);
+            let mut off = 0u64;
+            packed.push(0);
+            for v in &per_rank {
+                off += v.len() as u64;
+                packed.push(off);
+            }
+            for v in &per_rank {
+                packed.extend_from_slice(v);
+            }
+            d.bcast(0, &packed)
+        }
+        None => d.bcast(0, &[]),
+    };
+    IdMap { data: packed, n }
 }
 
 #[cfg(test)]
@@ -254,7 +323,9 @@ mod tests {
         let s = d.new_space(ProtoSpec::Sc);
         let mine = d.gmalloc::<u64>(s, 4);
         let all = exchange_ids(d, &[mine]);
-        for ids in &all {
+        assert_eq!(all.nprocs(), d.nprocs());
+        assert_eq!(all.rank(d.rank()), &[mine]);
+        for ids in all.iter() {
             d.map(ids[0]);
         }
         d.start_write(mine);
@@ -262,7 +333,8 @@ mod tests {
         d.end_write(mine);
         d.barrier(s);
         let mut sum = 0;
-        for ids in &all {
+        for r in 0..all.nprocs() {
+            let ids = all.rank(r);
             d.start_read(ids[0]);
             sum += d.with::<u64, _>(ids[0], |v| v[0]);
             d.end_read(ids[0]);

@@ -16,7 +16,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::dsm::{exchange_ids, Dsm};
+use crate::dsm::{exchange_ids, Dsm, IdMap};
 use crate::Variant;
 use ace_protocols::ProtoSpec;
 
@@ -217,7 +217,7 @@ fn build_adjacency<D: Dsm>(
     p: &Params,
     other_total: usize,
     rng: &mut StdRng,
-    other_ids: &[std::sync::Arc<[u64]>],
+    other_ids: &IdMap,
     my_count: usize,
 ) -> (Vec<Vec<u64>>, Vec<Vec<f64>>) {
     let mut nbr_ids = Vec::with_capacity(my_count);
@@ -241,7 +241,7 @@ fn build_adjacency<D: Dsm>(
                 continue;
             }
             let idx = rng.gen_range(0..owned);
-            ids.push(other_ids[owner][idx]);
+            ids.push(other_ids.rank(owner)[idx]);
             ws.push(rng.gen_range(0.01..0.2));
         }
         nbr_ids.push(ids);

@@ -1,0 +1,222 @@
+//! The execution backend must be invisible to the program. Whether each
+//! simulated node free-runs on its own OS thread (`ExecBackend::Threads`)
+//! or is cooperatively multiplexed over a fixed worker pool
+//! (`ExecBackend::Multiplexed`), the machine executes the same logical
+//! computation: the slot gate only changes *when* a node's thread is
+//! allowed to run, never what it computes or sends. So the same
+//! deterministic workload under both backends has to agree on every
+//! logical observable — the verification value, the per-node digest of
+//! every home region, the logical message/byte counts (total and per
+//! protocol tag), the annotation counters, and the conformance checker's
+//! verdict.
+//!
+//! As in `coalescing_equivalence`, EM3D and Water are bit-deterministic
+//! end to end and get the strict comparison on every *logical*
+//! observable. The wire-envelope grouping is excluded for the same
+//! reason it is there: how many protocol replies batch up between two
+//! blocking points depends on arrival timing, which both OS scheduling
+//! and the slot gate perturb. Wire count stays bounded by the logical
+//! count on both sides; its exact value is wall-clock jitter.
+//!
+//! The file ends with the scale checks the tentpole demands: EM3D runs to
+//! completion at 1024 simulated nodes under the multiplexed backend, and
+//! a deliberately oversubscribed pool (many more runnable nodes than
+//! worker slots) still makes progress through barrier-heavy phases.
+
+use std::collections::BTreeMap;
+
+use ace_apps::{em3d, water, AceDsm, Variant};
+use ace_core::{run_ace_with, CheckMode, CostModel, ExecBackend, OpCounters, Spmd, TraceConfig};
+use proptest::prelude::*;
+
+/// Logical observables for one traced run.
+struct Obs {
+    verification: f64,
+    digests: Vec<u64>,
+    counters: OpCounters,
+    msgs: u64,
+    wire_msgs: u64,
+    bytes: u64,
+    violations: u64,
+    /// Protocol tag -> (logical messages, payload bytes).
+    per_tag: BTreeMap<&'static str, (u64, u64)>,
+}
+
+fn run_app<F>(backend: ExecBackend, nprocs: usize, f: F) -> Obs
+where
+    F: Fn(&AceDsm) -> f64 + Sync,
+{
+    let r = run_ace_with(
+        Spmd::builder()
+            .nprocs(nprocs)
+            .cost(CostModel::cm5())
+            .trace(TraceConfig::on())
+            .check(CheckMode::Log)
+            .backend(backend),
+        |rt| {
+            let d = AceDsm::new(rt);
+            let v = f(&d);
+            // Rendezvous so every node's digest sees the settled final state.
+            rt.machine_barrier();
+            (v, rt.data_digest(), rt.counters())
+        },
+    );
+    let mut counters = OpCounters::default();
+    for (_, _, c) in &r.results {
+        counters.merge(c);
+    }
+    let trace = r.trace.expect("trace requested");
+    let per_tag = trace.summary().tags.iter().map(|t| (t.tag, (t.logical, t.bytes))).collect();
+    Obs {
+        verification: r.results[0].0,
+        digests: r.results.iter().map(|(_, d, _)| *d).collect(),
+        counters,
+        msgs: r.stats.total_msgs(),
+        wire_msgs: r.stats.total_wire_msgs(),
+        bytes: r.stats.total_bytes(),
+        violations: r.stats.total_violations(),
+        per_tag,
+    }
+}
+
+/// Full logical bit-equivalence across backends. The wire grouping is
+/// the one timing-dependent observable (see the module comment); it is
+/// only bounded, never compared exactly.
+fn assert_equivalent(th: &Obs, mx: &Obs, ctx: &str) {
+    assert_eq!(th.verification.to_bits(), mx.verification.to_bits(), "{ctx}: verification value");
+    assert_eq!(th.digests, mx.digests, "{ctx}: per-node region digests");
+    assert_eq!(th.msgs, mx.msgs, "{ctx}: total logical message count");
+    assert_eq!(th.bytes, mx.bytes, "{ctx}: total payload bytes");
+    assert_eq!(th.per_tag, mx.per_tag, "{ctx}: per-tag logical counts and bytes");
+    let strip = |c: &OpCounters| OpCounters { wire_msgs: 0, ..c.clone() };
+    assert_eq!(strip(&th.counters), strip(&mx.counters), "{ctx}: counters");
+    assert_eq!(th.violations, mx.violations, "{ctx}: conformance report");
+    assert_eq!(th.violations, 0, "{ctx}: checker counted violations");
+    for (name, o) in [("threads", th), ("multiplexed", mx)] {
+        assert!(
+            o.wire_msgs <= o.msgs,
+            "{ctx}/{name}: coalescing can only merge envelopes (wire={} logical={})",
+            o.wire_msgs,
+            o.msgs
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn em3d_backend_preserves_behavior(
+        seed in 0u64..1000,
+        steps in 1usize..4,
+        pct_remote in 5u32..50,
+        custom in any::<bool>(),
+    ) {
+        let p = em3d::Params {
+            e_nodes: 40,
+            h_nodes: 40,
+            degree: 3,
+            pct_remote,
+            steps,
+            seed,
+            hoist_maps: false,
+        };
+        let v = if custom { Variant::Custom } else { Variant::Sc };
+        let th = run_app(ExecBackend::Threads, 4, |d| em3d::run(d, &p, v));
+        let mx = run_app(ExecBackend::Multiplexed, 4, |d| em3d::run(d, &p, v));
+        assert_equivalent(&th, &mx, "em3d");
+    }
+
+    #[test]
+    fn water_backend_preserves_behavior(
+        seed in 0u64..1000,
+        molecules in 16usize..48,
+        custom in any::<bool>(),
+    ) {
+        let p = water::Params { molecules, steps: 2, seed };
+        let v = if custom { Variant::Custom } else { Variant::Sc };
+        let th = run_app(ExecBackend::Threads, 4, |d| water::run(d, &p, v));
+        let mx = run_app(ExecBackend::Multiplexed, 4, |d| water::run(d, &p, v));
+        assert_equivalent(&th, &mx, "water");
+    }
+}
+
+#[test]
+fn em3d_backends_agree_at_64_nodes() {
+    // The upper end of the equivalence sweep: 64 ranks is the last
+    // machine size where the sharer sets stay in the single-word fast
+    // path, and it comfortably oversubscribes the default worker pool.
+    let p = em3d::Params {
+        e_nodes: 128,
+        h_nodes: 128,
+        degree: 3,
+        pct_remote: 25,
+        steps: 2,
+        seed: 11,
+        hoist_maps: true,
+    };
+    let th = run_app(ExecBackend::Threads, 64, |d| em3d::run(d, &p, Variant::Custom));
+    let mx = run_app(ExecBackend::Multiplexed, 64, |d| em3d::run(d, &p, Variant::Custom));
+    assert_equivalent(&th, &mx, "em3d @ 64");
+}
+
+#[test]
+fn water_backends_agree_on_a_starved_pool() {
+    // Two worker slots for sixteen nodes: every barrier forces fifteen
+    // handoffs through the gate. Starvation may slow the run but must not
+    // change it.
+    let p = water::Params { molecules: 32, steps: 2, seed: 5 };
+    let th = run_app(ExecBackend::Threads, 16, |d| water::run(d, &p, Variant::Custom));
+    let r = run_ace_with(
+        Spmd::builder()
+            .nprocs(16)
+            .cost(CostModel::cm5())
+            .trace(TraceConfig::on())
+            .check(CheckMode::Log)
+            .backend(ExecBackend::Multiplexed)
+            .workers(2),
+        |rt| {
+            let d = AceDsm::new(rt);
+            let v = water::run(&d, &p, Variant::Custom);
+            rt.machine_barrier();
+            (v, rt.data_digest(), rt.counters())
+        },
+    );
+    assert_eq!(th.verification.to_bits(), r.results[0].0.to_bits(), "starved: verification");
+    let digests: Vec<u64> = r.results.iter().map(|(_, d, _)| *d).collect();
+    assert_eq!(th.digests, digests, "starved: digests");
+    assert_eq!(th.msgs, r.stats.total_msgs(), "starved: logical messages");
+    assert_eq!(th.violations, r.stats.total_violations(), "starved: conformance report");
+}
+
+#[test]
+fn em3d_completes_at_1024_nodes_multiplexed() {
+    // The acceptance bar for the scale-out engine: a 1024-node machine
+    // constructs, runs EM3D to a finite verification value, and tears
+    // down, all on a default dev box's worth of workers. The workload is
+    // deliberately thin per node — the test is about the machine, and the
+    // graph keeps one E and one H node per rank so every rank still
+    // participates in the remote-edge exchange.
+    let p = em3d::Params {
+        e_nodes: 1024,
+        h_nodes: 1024,
+        degree: 2,
+        pct_remote: 20,
+        steps: 1,
+        seed: 3,
+        hoist_maps: true,
+    };
+    let r = run_ace_with(
+        Spmd::builder().nprocs(1024).cost(CostModel::cm5()).backend(ExecBackend::Multiplexed),
+        |rt| {
+            let d = AceDsm::new(rt);
+            em3d::run(&d, &p, Variant::Sc)
+        },
+    );
+    assert_eq!(r.results.len(), 1024);
+    assert!(r.results[0].is_finite(), "em3d @ 1024 lost its verification value");
+    assert!(
+        r.stats.total_wire_msgs() <= r.stats.total_msgs(),
+        "coalescing can only merge envelopes"
+    );
+}

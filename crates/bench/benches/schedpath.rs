@@ -1,0 +1,65 @@
+//! Wall-clock cost of one scheduler round trip under the two execution
+//! backends. A two-node ping-pong blocks on every receive, so each hop
+//! pays one full pass through the blocking path: under `Threads` that is
+//! a channel park/unpark and an OS context switch; under `Multiplexed`
+//! it additionally releases the node's worker slot before the park and
+//! reacquires it after — the per-yield overhead of the slot gate is the
+//! difference between the two lines. The free cost model zeroes the
+//! simulated charges, so only real engine work is measured.
+//!
+//! The oversubscribed variant runs the same ping-pong on a single-slot
+//! pool, forcing a FIFO handoff through the gate on every hop — the
+//! worst case the multiplexed backend can hit.
+
+use ace_core::{CostModel, ExecBackend, Spmd};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+
+const HOPS: usize = 2_000;
+
+fn ping_pong(backend: ExecBackend, workers: Option<usize>) -> u64 {
+    let mut b = Spmd::builder().nprocs(2).cost(CostModel::free()).backend(backend);
+    if let Some(w) = workers {
+        b = b.workers(w);
+    }
+    let r = b.run::<u64, _, _>(|node| {
+        let wait_one = || {
+            let seen = Cell::new(false);
+            node.poll_until("pong", |_, _| seen.set(true), || seen.get());
+        };
+        if node.rank() == 0 {
+            for i in 0..HOPS as u64 {
+                node.send(1, i + 1);
+                wait_one();
+            }
+        } else {
+            for i in 0..HOPS as u64 {
+                wait_one();
+                node.send(0, i + 1);
+            }
+        }
+        HOPS as u64
+    });
+    r.results[0]
+}
+
+fn sched_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedpath");
+    g.sample_size(20);
+    // Report per-hop cost: Criterion's mean for one iteration divided by
+    // HOPS is the ns-per-yield headline; threads vs multiplexed is the
+    // slot gate's toll.
+    for (name, backend, workers) in [
+        ("threads", ExecBackend::Threads, None),
+        ("multiplexed", ExecBackend::Multiplexed, None),
+        ("multiplexed_1slot", ExecBackend::Multiplexed, Some(1)),
+    ] {
+        g.bench_function(format!("{name}_pingpong_x{HOPS}"), |b| {
+            b.iter(|| ping_pong(backend, workers))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sched_loop);
+criterion_main!(benches);

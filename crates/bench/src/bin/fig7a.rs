@@ -34,8 +34,8 @@ fn main() {
     if let Some(path) = json::out_path(&args, "BENCH_fig7a.json") {
         let mut out = Vec::new();
         for r in &rows {
-            out.push(JsonRow::new("fig7a", &r.app, "ace", r.ace));
-            out.push(JsonRow::new("fig7a", &r.app, "crl", r.crl));
+            out.push(JsonRow::new("fig7a", &r.app, "ace", procs, r.ace));
+            out.push(JsonRow::new("fig7a", &r.app, "crl", procs, r.crl));
         }
         json::write(&path, &out).expect("write --json file");
         println!("wrote {} rows to {}", out.len(), path.display());

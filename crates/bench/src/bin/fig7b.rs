@@ -55,10 +55,10 @@ fn main() {
     if let Some(path) = json::out_path(&args, "BENCH_fig7b.json") {
         let mut out = Vec::new();
         for r in &rows {
-            out.push(JsonRow::new("fig7b", &r.app, "sc", r.sc));
-            out.push(JsonRow::new("fig7b", &r.app, "custom", r.custom));
-            out.push(JsonRow::new("fig7b", &r.app, "sc-nocoal", r.sc_nocoal));
-            out.push(JsonRow::new("fig7b", &r.app, "custom-nocoal", r.custom_nocoal));
+            out.push(JsonRow::new("fig7b", &r.app, "sc", procs, r.sc));
+            out.push(JsonRow::new("fig7b", &r.app, "custom", procs, r.custom));
+            out.push(JsonRow::new("fig7b", &r.app, "sc-nocoal", procs, r.sc_nocoal));
+            out.push(JsonRow::new("fig7b", &r.app, "custom-nocoal", procs, r.custom_nocoal));
         }
         json::write(&path, &out).expect("write --json file");
         println!("wrote {} rows to {}", out.len(), path.display());

@@ -55,9 +55,9 @@ fn main() {
         let mut out = Vec::new();
         for r in &rows {
             for (i, level) in OptLevel::ALL.iter().enumerate() {
-                out.push(JsonRow::new("table4", r.app, level.label(), r.level_stats[i]));
+                out.push(JsonRow::new("table4", r.app, level.label(), procs, r.level_stats[i]));
             }
-            out.push(JsonRow::new("table4", r.app, "hand", r.hand_stats));
+            out.push(JsonRow::new("table4", r.app, "hand", procs, r.hand_stats));
         }
         json::write(std::path::Path::new(&path), &out).expect("write --json file");
         println!("wrote {} rows to {path}", out.len());

@@ -22,14 +22,22 @@ pub struct JsonRow {
     /// Configuration within the table (e.g. "sc", "custom", "crl", an
     /// optimization level, or "hand").
     pub config: &'static str,
+    /// Simulated processor count for the run.
+    pub procs: usize,
     /// Accounting for the run.
     pub stats: VariantStats,
 }
 
 impl JsonRow {
     /// Row from a [`VariantStats`].
-    pub fn new(table: &'static str, app: &str, config: &'static str, stats: VariantStats) -> Self {
-        JsonRow { table, app: app.to_string(), config, stats }
+    pub fn new(
+        table: &'static str,
+        app: &str,
+        config: &'static str,
+        procs: usize,
+        stats: VariantStats,
+    ) -> Self {
+        JsonRow { table, app: app.to_string(), config, procs, stats }
     }
 }
 
@@ -54,10 +62,11 @@ pub fn render(rows: &[JsonRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "  {{\"table\":\"{}\",\"app\":\"{}\",\"config\":\"{}\",\"sim_ns\":{},\"wall_ns\":{},\"msgs\":{},\"wire_msgs\":{},\"bytes\":{}}}",
+            "  {{\"table\":\"{}\",\"app\":\"{}\",\"config\":\"{}\",\"procs\":{},\"sim_ns\":{},\"wall_ns\":{},\"msgs\":{},\"wire_msgs\":{},\"bytes\":{}}}",
             escape(r.table),
             escape(&r.app),
             escape(r.config),
+            r.procs,
             r.stats.sim_ns,
             r.stats.wall_ns,
             r.stats.msgs,
@@ -98,12 +107,14 @@ mod tests {
                 "fig7b",
                 "em3d",
                 "sc",
+                8,
                 VariantStats { sim_ns: 10, wall_ns: 20, msgs: 3, wire_msgs: 2, bytes: 4 },
             ),
-            JsonRow::new("fig7b", "em3d", "custom", VariantStats::default()),
+            JsonRow::new("fig7b", "em3d", "custom", 8, VariantStats::default()),
         ];
         let s = render(&rows);
         assert!(s.starts_with("[\n"));
+        assert!(s.contains("\"procs\":8"));
         assert!(s.contains("\"sim_ns\":10"));
         assert!(s.contains("\"msgs\":3,\"wire_msgs\":2"));
         assert!(s.contains("\"config\":\"custom\""));
@@ -112,7 +123,7 @@ mod tests {
 
     #[test]
     fn escapes_control_and_quote_chars() {
-        let row = JsonRow::new("t", "we\"ird\\na\nme", "sc", VariantStats::default());
+        let row = JsonRow::new("t", "we\"ird\\na\nme", "sc", 4, VariantStats::default());
         let s = render(&[row]);
         assert!(s.contains("we\\\"ird\\\\na\\u000ame"));
     }

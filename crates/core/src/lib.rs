@@ -38,15 +38,15 @@ pub mod space;
 pub use ace_machine::pod::{self, Pod};
 pub use ace_machine::{
     validate_chrome_trace, CheckMode, ChromeCheck, CoalescePolicy, CostModel, Envelope, EventKind,
-    Hook, MachineBuilder, MachineTrace, Node, NodeTrace, Spmd, SpmdResult, TraceConfig, TraceEvent,
-    TraceSummary,
+    ExecBackend, Hook, MachineBuilder, MachineTrace, Node, NodeTrace, Spmd, SpmdResult,
+    TraceConfig, TraceEvent, TraceSummary, MAX_NODES,
 };
 pub use counters::OpCounters;
 pub use error::{AceError, ConformanceKind, SectionRecord};
 pub use ids::{RegionId, SpaceId};
 pub use msg::{AceMsg, ProtoMsg};
 pub use protocol::{Actions, GrantSet, Protocol};
-pub use region::RegionEntry;
+pub use region::{RegionEntry, Sharers};
 pub use rt::{AceRt, DEFAULT_COALESCE};
 pub use space::SpaceEntry;
 

@@ -25,6 +25,154 @@ fn cow_slice(slot: &mut Arc<[u64]>) -> &mut [u64] {
     Arc::get_mut(slot).expect("uniquely owned after copy-on-write")
 }
 
+/// A home-side sharer set scaling past 64 ranks without giving up the
+/// one-word fast path real directories use.
+///
+/// Ranks 0..63 live in a single `Cell<u64>` bitmask (the overwhelmingly
+/// common case, and the representation every protocol used when the
+/// machine was capped at 64 nodes); ranks 64 and up spill lazily into a
+/// word vector that is only allocated the first time a wide rank shows up.
+/// All operations stay `&self` (`Cell`/`RefCell` inside) to match the
+/// node-local single-threaded discipline of [`RegionEntry`].
+#[derive(Default)]
+pub struct Sharers {
+    /// Ranks 0..=63, one bit each.
+    small: Cell<u64>,
+    /// Ranks 64.., bit `r - 64` in word `(r - 64) / 64`. Empty until a
+    /// wide rank is added.
+    spill: RefCell<Vec<u64>>,
+}
+
+impl Sharers {
+    /// An empty sharer set.
+    pub fn new() -> Self {
+        Sharers::default()
+    }
+
+    /// Add `rank` to the set.
+    pub fn add(&self, rank: usize) {
+        if rank < 64 {
+            self.small.set(self.small.get() | (1 << rank));
+        } else {
+            let (w, b) = ((rank - 64) / 64, (rank - 64) % 64);
+            let mut spill = self.spill.borrow_mut();
+            if spill.len() <= w {
+                spill.resize(w + 1, 0);
+            }
+            spill[w] |= 1 << b;
+        }
+    }
+
+    /// Remove `rank` from the set.
+    pub fn remove(&self, rank: usize) {
+        if rank < 64 {
+            self.small.set(self.small.get() & !(1 << rank));
+        } else {
+            let (w, b) = ((rank - 64) / 64, (rank - 64) % 64);
+            let mut spill = self.spill.borrow_mut();
+            if let Some(word) = spill.get_mut(w) {
+                *word &= !(1 << b);
+            }
+        }
+    }
+
+    /// Whether `rank` is in the set.
+    pub fn contains(&self, rank: usize) -> bool {
+        if rank < 64 {
+            self.small.get() & (1 << rank) != 0
+        } else {
+            let (w, b) = ((rank - 64) / 64, (rank - 64) % 64);
+            self.spill.borrow().get(w).is_some_and(|word| word & (1 << b) != 0)
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.small.get() == 0 && self.spill.borrow().iter().all(|&w| w == 0)
+    }
+
+    /// Drop every member.
+    pub fn clear(&self) {
+        self.small.set(0);
+        self.spill.borrow_mut().clear();
+    }
+
+    /// Backwards-compatible raw accessors for the ≤64-rank fast path:
+    /// the low word of the set (exactly the old `Cell<u64>` mask when no
+    /// rank ≥ 64 was ever added).
+    pub fn get(&self) -> u64 {
+        self.small.get()
+    }
+
+    /// Replace the low word; only meaningful on machines ≤ 64 ranks
+    /// (asserts nothing has spilled).
+    pub fn set(&self, mask: u64) {
+        debug_assert!(
+            self.spill.borrow().iter().all(|&w| w == 0),
+            "raw mask write would drop spilled sharers"
+        );
+        self.small.set(mask);
+    }
+
+    /// A content fingerprint for snapshots/tests: equals the raw bitmask
+    /// for ≤64-rank sets, and folds the spill words in (position-salted)
+    /// above that.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = self.small.get();
+        for (i, &w) in self.spill.borrow().iter().enumerate() {
+            f ^= w.rotate_left((i as u32 + 1) * 7);
+        }
+        f
+    }
+
+    /// Iterate member ranks in ascending order. The iterator walks a
+    /// snapshot taken at the call, so callers may mutate the set (drop
+    /// sharers, send messages) while iterating.
+    pub fn iter(&self) -> SharerRanks {
+        SharerRanks {
+            cur: self.small.get(),
+            base: 0,
+            words: {
+                let spill = self.spill.borrow();
+                if spill.iter().all(|&w| w == 0) {
+                    Vec::new()
+                } else {
+                    spill.clone()
+                }
+            },
+            next_word: 0,
+        }
+    }
+}
+
+/// Snapshot iterator over [`Sharers`] members, ascending.
+pub struct SharerRanks {
+    cur: u64,
+    base: usize,
+    words: Vec<u64>,
+    next_word: usize,
+}
+
+impl Iterator for SharerRanks {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(self.base + bit);
+            }
+            if self.next_word >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.next_word];
+            self.base = 64 * (self.next_word + 1);
+            self.next_word += 1;
+        }
+    }
+}
+
 /// Node-local state for one region: the cached data, access bookkeeping,
 /// and a bag of protocol-owned fields.
 ///
@@ -64,8 +212,9 @@ pub struct RegionEntry {
     pub fast: Cell<Actions>,
     /// Protocol-defined state code.
     pub st: Cell<u32>,
-    /// Home-side sharer bitmask (bit *i* = node *i* holds a copy).
-    pub sharers: Cell<u64>,
+    /// Home-side sharer set (rank *i* present = node *i* holds a copy).
+    /// One-word bitmask up to 64 ranks, lazy spill vector beyond.
+    pub sharers: Sharers,
     /// Home-side exclusive owner rank, or -1.
     pub owner: Cell<i32>,
     /// Outstanding acknowledgements (invalidations, flushes, deltas...).
@@ -101,7 +250,7 @@ impl RegionEntry {
             write_active: Cell::new(0),
             fast: Cell::new(Actions::empty()),
             st: Cell::new(0),
-            sharers: Cell::new(0),
+            sharers: Sharers::new(),
             owner: Cell::new(-1),
             pending: Cell::new(0),
             aux: Cell::new(0),
@@ -166,25 +315,25 @@ impl RegionEntry {
         *slot = incoming;
     }
 
-    /// Add `rank` to the sharer bitmask.
+    /// Add `rank` to the sharer set.
     pub fn add_sharer(&self, rank: usize) {
-        self.sharers.set(self.sharers.get() | (1 << rank));
+        self.sharers.add(rank);
     }
 
-    /// Remove `rank` from the sharer bitmask.
+    /// Remove `rank` from the sharer set.
     pub fn drop_sharer(&self, rank: usize) {
-        self.sharers.set(self.sharers.get() & !(1 << rank));
+        self.sharers.remove(rank);
     }
 
-    /// Whether `rank` is in the sharer bitmask.
+    /// Whether `rank` is in the sharer set.
     pub fn is_sharer(&self, rank: usize) -> bool {
-        self.sharers.get() & (1 << rank) != 0
+        self.sharers.contains(rank)
     }
 
-    /// Iterate the ranks present in the sharer bitmask.
+    /// Iterate the ranks present in the sharer set (snapshot: the set may
+    /// be mutated while iterating).
     pub fn sharer_ranks(&self) -> impl Iterator<Item = usize> {
-        let mask = self.sharers.get();
-        (0..64).filter(move |i| mask & (1 << i) != 0)
+        self.sharers.iter()
     }
 }
 
@@ -217,6 +366,57 @@ mod tests {
         e.drop_sharer(5);
         assert!(!e.is_sharer(5));
         assert_eq!(e.sharer_ranks().collect::<Vec<_>>(), vec![0, 63]);
+    }
+
+    #[test]
+    fn sharers_spill_past_64_ranks() {
+        let s = Sharers::new();
+        s.add(3);
+        s.add(64);
+        s.add(200);
+        s.add(4095);
+        assert!(s.contains(3) && s.contains(64) && s.contains(200) && s.contains(4095));
+        assert!(!s.contains(65) && !s.contains(4094));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 200, 4095]);
+        s.remove(200);
+        assert!(!s.contains(200));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 4095]);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn sharers_fingerprint_matches_raw_mask_when_small() {
+        let s = Sharers::new();
+        s.add(1);
+        s.add(63);
+        assert_eq!(s.fingerprint(), s.get());
+        assert_eq!(s.fingerprint(), (1u64 << 1) | (1u64 << 63));
+        // A spilled rank changes the fingerprint even with the low word
+        // unchanged.
+        let before = s.fingerprint();
+        s.add(100);
+        assert_ne!(s.fingerprint(), before);
+        assert_eq!(s.get(), before, "low word untouched by a wide add");
+    }
+
+    #[test]
+    fn sharers_iter_snapshot_tolerates_mutation() {
+        let s = Sharers::new();
+        for r in [0usize, 2, 70, 130] {
+            s.add(r);
+        }
+        let mut seen = Vec::new();
+        for r in s.iter() {
+            // Dropping members mid-iteration (what an invalidation sweep
+            // does) must not disturb the snapshot walk.
+            s.remove(r);
+            seen.push(r);
+        }
+        assert_eq!(seen, vec![0, 2, 70, 130]);
+        assert!(s.is_empty());
     }
 
     #[test]

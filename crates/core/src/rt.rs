@@ -27,14 +27,28 @@ const GLOBAL_BAR_TAG: u32 = u32::MAX;
 /// across fan-out bursts; every blocking point flushes whatever is left.
 pub const DEFAULT_COALESCE: CoalescePolicy = CoalescePolicy::Threshold(8);
 
-/// Slots in the direct-mapped region-lookup cache. Fine-grained apps give
-/// every value its own region (EM3D: one word per graph node), so a
-/// compute sweep touches hundreds of distinct regions per step; a
-/// direct-mapped cache thrashes on any working set bigger than itself, so
-/// it must comfortably exceed per-node working sets. 4096 slots ≈ 96 KiB
-/// per node — noise next to the region data, and conflict misses stay
-/// rare up to several hundred live regions.
+/// Slots in the direct-mapped region-lookup cache at small machine sizes.
+/// Fine-grained apps give every value its own region (EM3D: one word per
+/// graph node), so a compute sweep touches hundreds of distinct regions
+/// per step; a direct-mapped cache thrashes on any working set bigger
+/// than itself, so it must comfortably exceed per-node working sets. 4096
+/// slots ≈ 96 KiB per node — noise next to the region data, and conflict
+/// misses stay rare up to several hundred live regions.
 const REGION_CACHE_SLOTS: usize = 4096;
+
+/// Per-instance cache size: full-width up to 128 ranks (where hit-rate
+/// dominates), shrinking stepwise above so a 4096-node machine pays ~3 KiB
+/// of cache per node instead of 96 KiB × 4096 ≈ 384 MiB — at scale the
+/// per-node region working set shrinks anyway (problem size is divided
+/// across more homes). Always a power of two, so the slot hash can mask.
+fn region_cache_slots_for(nprocs: usize) -> usize {
+    match nprocs {
+        0..=128 => REGION_CACHE_SLOTS,
+        129..=512 => 1024,
+        513..=2048 => 512,
+        _ => 128,
+    }
+}
 
 /// Sentinel key for an empty region-cache slot (no valid `RegionId` uses
 /// it: ids are `rank << 32 | seq` with rank bounded by `MAX_NODES`).
@@ -43,13 +57,14 @@ const REGION_CACHE_EMPTY: u64 = u64::MAX;
 /// Per-collective gather buffer: contributions tagged by source rank.
 type GatherBuf = Vec<(usize, Arc<[u64]>)>;
 
-fn region_cache_slot(r: RegionId) -> usize {
+fn region_cache_slot(r: RegionId, slots: usize) -> usize {
     // Fibonacci hashing. Region ids are `home << 32 | seq` with *per-home*
     // sequential seqs, so plain masking (or xor-folding) would land every
     // home's regions on the same densely-packed slot range; one odd
-    // multiply spreads both fields across the whole index space.
+    // multiply spreads both fields across the whole index space. `slots`
+    // is a power of two, so the mask keeps the hash's high bits.
     const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
-    (r.0.wrapping_mul(PHI) >> 52) as usize % REGION_CACHE_SLOTS
+    (r.0.wrapping_mul(PHI) >> 52) as usize & (slots - 1)
 }
 
 /// The per-node runtime. One `AceRt` exists per simulated processor; all
@@ -98,7 +113,10 @@ impl<'n> AceRt<'n> {
         let rt = AceRt {
             node,
             regions: RefCell::new(HashMap::new()),
-            region_cache: RefCell::new(vec![(REGION_CACHE_EMPTY, None); REGION_CACHE_SLOTS]),
+            region_cache: RefCell::new(vec![
+                (REGION_CACHE_EMPTY, None);
+                region_cache_slots_for(node.nprocs())
+            ]),
             rc_hits: Cell::new(0),
             rc_misses: Cell::new(0),
             spaces: RefCell::new(HashMap::new()),
@@ -573,7 +591,7 @@ impl<'n> AceRt<'n> {
     /// The cache never outlives the table — [`AceRt::evict`] invalidates the
     /// victim's slot and [`AceRt::change_protocol`] clears all slots.
     pub fn lookup(&self, r: RegionId) -> Option<Rc<RegionEntry>> {
-        let slot = region_cache_slot(r);
+        let slot = region_cache_slot(r, self.region_cache.borrow().len());
         {
             let cache = self.region_cache.borrow();
             let (key, entry) = &cache[slot];
@@ -595,8 +613,8 @@ impl<'n> AceRt<'n> {
     /// Drop `r`'s region-cache slot if it holds `r`. Must run whenever an
     /// entry leaves the `regions` table, or `lookup` would resurrect it.
     fn region_cache_invalidate(&self, r: RegionId) {
-        let slot = region_cache_slot(r);
         let mut cache = self.region_cache.borrow_mut();
+        let slot = region_cache_slot(r, cache.len());
         if cache[slot].0 == r.0 {
             cache[slot] = (REGION_CACHE_EMPTY, None);
         }

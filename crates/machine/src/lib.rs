@@ -23,15 +23,19 @@
 
 pub mod cost;
 pub mod envelope;
+pub mod lockfree;
 pub mod node;
 pub mod pod;
+pub mod sched;
 pub mod spmd;
 pub mod stats;
 
 pub use cost::CostModel;
 pub use envelope::{Envelope, MsgSize};
+pub use lockfree::LfCell;
 pub use node::{CheckMode, CoalescePolicy, Node};
 pub use pod::Pod;
+pub use sched::ExecBackend;
 pub use spmd::{MachineBuilder, Spmd, SpmdResult};
 pub use stats::{MachineStats, NodeStats};
 // Re-exported so downstream crates configure and consume tracing without
@@ -42,5 +46,8 @@ pub use ace_trace::{
 };
 
 /// Maximum number of simulated processors. Sharer sets in the protocol
-/// layers are 64-bit bitmasks, so the substrate enforces the same limit.
-pub const MAX_NODES: usize = 64;
+/// layers keep a 64-bit bitmask fast path and spill to a word vector past
+/// 64 ranks, so the cap is set by practicality (per-node threads, channel
+/// fan-in), not representation; 4096 nodes is where the scaling study
+/// tops out.
+pub const MAX_NODES: usize = 4096;

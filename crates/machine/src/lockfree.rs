@@ -1,0 +1,216 @@
+//! Lock-free published values with deferred reclamation.
+//!
+//! [`LfCell`] is a write-rarely / read-often cell shared by every node of
+//! a machine: readers never take a lock (two atomic counter bumps and one
+//! pointer load), writers swap a freshly-allocated node in and retire the
+//! old value onto a chain that is freed only once no reader can possibly
+//! hold it. It exists for machine-wide shared state on paths every node
+//! polls — the failure diagnostics checked inside every blocked wait —
+//! where a `Mutex` would put a 4096-way contention point into the idle
+//! loop.
+//!
+//! The reclamation scheme is the counter-guarded retire chain of the
+//! classic `AtomicCell` pattern (a degenerate epoch scheme with a single
+//! global epoch): a reader advertises itself by incrementing `readers`
+//! *before* loading the head pointer, so when a reclaimer observes
+//! `readers == 0` no live reference to any retired node can exist — any
+//! reader that arrives later starts from the *current* head, which is
+//! never freed. Reclaim itself is serialized by a try-lock flag and
+//! detaches the retire chain with an atomic swap, so two concurrent
+//! reclaimers cannot free the same node twice. Values are handed out as
+//! `Arc<T>` clones, which keeps a loaded value alive independently of the
+//! cell's own churn.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct LfNode<T> {
+    value: Arc<T>,
+    /// The previously-published node (retire chain), written once right
+    /// after this node is swapped in; null until then and for the oldest
+    /// node.
+    next: AtomicPtr<LfNode<T>>,
+}
+
+/// A lock-free cell holding an `Arc<T>`, safe to read from any thread.
+pub struct LfCell<T> {
+    head: AtomicPtr<LfNode<T>>,
+    readers: AtomicUsize,
+    reclaiming: AtomicBool,
+}
+
+// The cell hands out Arc<T> clones across threads; T itself is only ever
+// read through shared references.
+unsafe impl<T: Send + Sync> Send for LfCell<T> {}
+unsafe impl<T: Send + Sync> Sync for LfCell<T> {}
+
+impl<T> LfCell<T> {
+    /// A cell initially publishing `value`.
+    pub fn new(value: T) -> Self {
+        let node = Box::into_raw(Box::new(LfNode {
+            value: Arc::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        LfCell {
+            head: AtomicPtr::new(node),
+            readers: AtomicUsize::new(0),
+            reclaiming: AtomicBool::new(false),
+        }
+    }
+
+    /// Read the current value (an `Arc` clone; never blocks).
+    pub fn load(&self) -> Arc<T> {
+        // Advertise *before* loading the pointer: any reclaimer that
+        // observes `readers == 0` after this point sees our increment, so
+        // every node we can reach from `head` stays allocated while we
+        // hold the guard.
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let p = self.head.load(Ordering::SeqCst);
+        // SAFETY: `p` was the published head while our reader guard was
+        // held; heads are only freed through the retire chain, which is
+        // never walked while `readers > 0` (and the current head is never
+        // on it).
+        let value = unsafe { (*p).value.clone() };
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        self.try_reclaim();
+        value
+    }
+
+    /// Publish a new value. Readers racing this call observe either the
+    /// old or the new value, never a torn one.
+    pub fn store(&self, value: T) {
+        let node = Box::into_raw(Box::new(LfNode {
+            value: Arc::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        let old = self.head.swap(node, Ordering::SeqCst);
+        // Chain the dethroned head for deferred reclamation. Between the
+        // swap and this store the chain below `old` is temporarily
+        // unreachable from `node`; a reclaimer running in that window
+        // simply frees nothing (its detach sees null), which is safe.
+        // SAFETY: `node` is ours until published fully; `old` stays
+        // allocated (it is on no free list yet).
+        unsafe { (*node).next.store(old, Ordering::SeqCst) };
+        self.try_reclaim();
+    }
+
+    /// Free retired nodes if no reader is active. Serialized by a
+    /// try-lock so concurrent reclaimers cannot double-free; skipping on
+    /// contention is fine (someone else is already sweeping, or the next
+    /// operation will).
+    fn try_reclaim(&self) {
+        if self.readers.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        if self
+            .reclaiming
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        if self.readers.load(Ordering::SeqCst) == 0 {
+            // No reader holds any pointer (readers increment before they
+            // load `head`, so `readers == 0` means every outstanding load
+            // has completed). Readers arriving from here on start at the
+            // current head, which we never free — only the chain *behind*
+            // it. Detaching with a swap makes this sweep the exclusive
+            // owner of the chain even if `head` moves concurrently.
+            let h = self.head.load(Ordering::SeqCst);
+            // SAFETY: the current head is always allocated.
+            let mut p = unsafe { (*h).next.swap(ptr::null_mut(), Ordering::SeqCst) };
+            while !p.is_null() {
+                // SAFETY: nodes on a detached chain are unreachable from
+                // `head` and owned solely by this sweep.
+                let node = unsafe { Box::from_raw(p) };
+                p = node.next.load(Ordering::SeqCst);
+            }
+        }
+        self.reclaiming.store(false, Ordering::SeqCst);
+    }
+}
+
+impl<T> Drop for LfCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the head and whatever retire chain the
+        // last sweep left behind.
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: `&mut self` guarantees no readers or writers.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next.load(Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_latest_store() {
+        let c = LfCell::new(1u64);
+        assert_eq!(*c.load(), 1);
+        c.store(2);
+        assert_eq!(*c.load(), 2);
+        for i in 3..100 {
+            c.store(i);
+        }
+        assert_eq!(*c.load(), 99);
+    }
+
+    #[test]
+    fn loaded_arc_outlives_replacement() {
+        let c = LfCell::new(String::from("first"));
+        let held = c.load();
+        for i in 0..50 {
+            c.store(format!("gen {i}"));
+        }
+        assert_eq!(*held, "first", "an Arc handed out survives any churn");
+        assert_eq!(*c.load(), "gen 49");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree_on_published_values() {
+        let c = Arc::new(LfCell::new(0u64));
+        let top = 2_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..20_000 {
+                        let v = *c.load();
+                        // Published values are monotone per writer program
+                        // order; with one writer they are globally monotone.
+                        assert!(v >= last, "time ran backwards: {v} < {last}");
+                        last = v;
+                    }
+                });
+            }
+            scope.spawn({
+                let c = Arc::clone(&c);
+                move || {
+                    for i in 1..=top {
+                        c.store(i);
+                    }
+                }
+            });
+        });
+        assert_eq!(*c.load(), top);
+    }
+
+    #[test]
+    fn drop_frees_retired_chain_without_reclaim() {
+        // Store repeatedly while a reader guard effect is simulated by
+        // never calling load (so no reclaim runs from the read side);
+        // Drop must still free everything (checked under sanitizers; here
+        // it must at least not crash).
+        let c = LfCell::new(vec![0u8; 64]);
+        for i in 0..256 {
+            c.store(vec![i as u8; 64]);
+        }
+        drop(c);
+    }
+}

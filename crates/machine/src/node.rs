@@ -1,7 +1,8 @@
 //! A simulated processor: rank, message endpoints, virtual clock, counters.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -11,7 +12,19 @@ use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
 use crate::cost::CostModel;
 use crate::envelope::{Envelope, MsgSize, HEADER_BYTES};
+use crate::lockfree::LfCell;
+use crate::sched::{Scheduler, SlotHandle};
 use crate::stats::NodeStats;
+
+/// How long a node's idle poll sleeps before re-checking peers and the
+/// watchdog. The sleep escalates from this floor by doubling up to
+/// [`IDLE_POLL_CEIL`] while nothing arrives, and snaps back to the floor
+/// on any receipt — so active phases keep microsecond reactivity while a
+/// long collective wait costs a handful of wakeups per second instead of
+/// ten thousand. (The channel wait itself parks the thread; the escalation
+/// only bounds how often a *quiet* node wakes to run its failure checks.)
+const IDLE_POLL_FLOOR: Duration = Duration::from_micros(100);
+const IDLE_POLL_CEIL: Duration = Duration::from_millis(20);
 
 /// How long a blocked node waits before concluding the run is wedged.
 /// Protocol bugs in a message-passing system manifest as silent hangs; the
@@ -138,16 +151,136 @@ struct Inbound<M> {
     wire: Option<(u32, u32)>,
 }
 
+/// Diagnostics for the first node whose thread died by panic (the rank
+/// itself travels in [`RouteTable::failed`]): the extracted panic message,
+/// published once through a lock-free cell so every peer's idle poll can
+/// read it without a machine-wide mutex.
+pub(crate) struct NodeFailure {
+    pub msg: String,
+}
+
+/// The machine's shared routing state: one `Arc` per node instead of a
+/// separate clone of the sender table, the failure flag and the scheduler
+/// handle. The sender table is built once and shared read-only by all
+/// nodes, so constructing an `n`-node machine moves `n` `Arc` clones, not
+/// `n²` senders.
+pub(crate) struct RouteTable<M> {
+    /// One channel sender per destination rank, indexed by rank.
+    pub txs: Vec<Sender<Wire<M>>>,
+    /// Rank of the first node whose thread died by panic, or -1. The
+    /// single-word fast path every idle poll checks.
+    pub failed: AtomicIsize,
+    /// Rich diagnostics for that failure (rank + panic message), read
+    /// lock-free on the poll path only after `failed` trips.
+    failure: LfCell<Option<NodeFailure>>,
+    /// The execution-slot gate under [`crate::ExecBackend::Multiplexed`];
+    /// `None` under the thread-per-node backend.
+    pub sched: Option<Arc<Scheduler>>,
+}
+
+impl<M> RouteTable<M> {
+    pub(crate) fn new(txs: Vec<Sender<Wire<M>>>, sched: Option<Arc<Scheduler>>) -> Self {
+        RouteTable { txs, failed: AtomicIsize::new(-1), failure: LfCell::new(None), sched }
+    }
+
+    /// Record the first panicking rank (first writer wins) together with
+    /// its panic message for peer diagnostics.
+    pub(crate) fn record_failure(&self, rank: usize, msg: String) {
+        if self
+            .failed
+            .compare_exchange(-1, rank as isize, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.failure.store(Some(NodeFailure { msg }));
+        }
+    }
+
+    /// The first recorded failure's panic message, as a `: msg` suffix for
+    /// peer-death panics (empty if the message hasn't been published yet —
+    /// `failed` trips before the cell store lands).
+    fn failure_detail(&self) -> String {
+        match self.failure.load().as_ref() {
+            Some(f) if !f.msg.is_empty() => format!(": {}", f.msg),
+            _ => String::new(),
+        }
+    }
+}
+
+/// Per-destination coalescing buffers that scale to thousands of ranks: a
+/// dense `Vec` of buffers at small `nprocs`, a `HashMap` keyed by the few
+/// destinations actually touched above that (a 4096-node machine must not
+/// pay 4096 empty `Vec`s per node), plus a dirty list so flushing visits
+/// only destinations that hold messages instead of scanning every rank.
+struct OutBufs<M> {
+    dense: Vec<Vec<(M, usize)>>,
+    sparse: HashMap<usize, Vec<(M, usize)>>,
+    /// Destinations whose buffer went empty→nonempty since the last full
+    /// flush. May hold duplicates (a threshold flush empties a buffer but
+    /// leaves its entry); `flush_coalesced` sorts and the per-destination
+    /// flush no-ops on empty, so duplicates are harmless.
+    dirty: Vec<usize>,
+}
+
+/// Above this many ranks the per-destination buffers live in a map.
+const DENSE_OUTBUF_MAX: usize = 256;
+
+impl<M> OutBufs<M> {
+    fn new(nprocs: usize) -> Self {
+        OutBufs {
+            dense: if nprocs <= DENSE_OUTBUF_MAX {
+                (0..nprocs).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            sparse: HashMap::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Append one part to `dst`'s buffer, returning the buffer's new
+    /// length (for threshold checks).
+    fn push(&mut self, dst: usize, part: (M, usize)) -> usize {
+        let buf = if self.dense.is_empty() {
+            self.sparse.entry(dst).or_default()
+        } else {
+            &mut self.dense[dst]
+        };
+        if buf.is_empty() {
+            self.dirty.push(dst);
+        }
+        buf.push(part);
+        buf.len()
+    }
+
+    /// Take `dst`'s buffered parts (empty if none).
+    fn take(&mut self, dst: usize) -> Vec<(M, usize)> {
+        if self.dense.is_empty() {
+            self.sparse.remove(&dst).unwrap_or_default()
+        } else {
+            std::mem::take(&mut self.dense[dst])
+        }
+    }
+
+    /// Take the dirty list, sorted ascending so flush order (and with it
+    /// the per-destination `send_overhead` clock charges) is rank order —
+    /// identical to the old full scan, independent of send order.
+    fn take_dirty(&mut self) -> Vec<usize> {
+        let mut d = std::mem::take(&mut self.dirty);
+        d.sort_unstable();
+        d
+    }
+}
+
 /// One simulated processor.
 ///
 /// A `Node` is owned by exactly one OS thread and is deliberately `!Sync`:
 /// everything inside uses `Cell`/`RefCell`. The only cross-thread objects
-/// are the channel endpoints and the shared peer-failure flag.
+/// are the channel endpoints and the shared routing table.
 pub struct Node<M> {
     rank: usize,
     nprocs: usize,
     rx: Receiver<Wire<M>>,
-    txs: Arc<Vec<Sender<Wire<M>>>>,
+    route: Arc<RouteTable<M>>,
     cost: Arc<CostModel>,
     clock: Cell<u64>,
     logical_sent: Cell<u64>,
@@ -165,8 +298,14 @@ pub struct Node<M> {
     /// Per-destination coalescing buffers; `pending` counts buffered
     /// parts across all destinations so the common empty case is one load.
     coalesce: Cell<CoalescePolicy>,
-    outbuf: RefCell<Vec<Vec<(M, usize)>>>,
+    outbuf: RefCell<OutBufs<M>>,
     pending: Cell<usize>,
+    /// This thread's handle on the execution-slot gate under
+    /// [`crate::ExecBackend::Multiplexed`]; `None` under `Threads`. The
+    /// slot is released exactly while parked on the channel inside
+    /// [`Node::recv_timeout`] — the substrate's one true blocking point —
+    /// and reacquired before touching any node state again.
+    slot: Option<Rc<SlotHandle>>,
     /// Structured event sink; a no-op unless the builder enabled tracing.
     sink: TraceSink,
     /// Conformance-checking mode (the runtime layer does the checking; the
@@ -180,9 +319,6 @@ pub struct Node<M> {
     vc: RefCell<Vec<u64>>,
     /// Conformance violations recorded against this node.
     violations: Cell<u64>,
-    /// Rank of the first peer whose thread died by panic, or -1. Shared by
-    /// every node of the machine; see [`crate::Spmd`].
-    failed: Arc<AtomicIsize>,
 }
 
 impl<M: MsgSize + Send> Node<M> {
@@ -190,9 +326,9 @@ impl<M: MsgSize + Send> Node<M> {
         rank: usize,
         nprocs: usize,
         rx: Receiver<Wire<M>>,
-        txs: Arc<Vec<Sender<Wire<M>>>>,
+        route: Arc<RouteTable<M>>,
         cost: Arc<CostModel>,
-        failed: Arc<AtomicIsize>,
+        slot: Option<Rc<SlotHandle>>,
         setup: &NodeSetup,
     ) -> Self {
         assert!(setup.drain_batch >= 1, "drain batch must be at least 1");
@@ -200,7 +336,7 @@ impl<M: MsgSize + Send> Node<M> {
             rank,
             nprocs,
             rx,
-            txs,
+            route,
             cost,
             clock: Cell::new(0),
             logical_sent: Cell::new(0),
@@ -212,14 +348,14 @@ impl<M: MsgSize + Send> Node<M> {
             inbox: RefCell::new(VecDeque::new()),
             drain_batch: Cell::new(setup.drain_batch),
             coalesce: Cell::new(setup.coalesce),
-            outbuf: RefCell::new((0..nprocs).map(|_| Vec::new()).collect()),
+            outbuf: RefCell::new(OutBufs::new(nprocs)),
             pending: Cell::new(0),
+            slot,
             sink: TraceSink::new(&setup.trace),
             check: setup.check,
             det_seed: setup.det_seed,
             vc: RefCell::new(if setup.check.enabled() { vec![0; nprocs] } else { Vec::new() }),
             violations: Cell::new(0),
-            failed,
         }
     }
 
@@ -362,7 +498,7 @@ impl<M: MsgSize + Send> Node<M> {
                 // exited, which means the SPMD program violated its
                 // quiescence contract; losing the message is the faithful
                 // outcome (the wire goes dead).
-                let _ = self.txs[dst].send(Wire::Single(env));
+                let _ = self.route.txs[dst].send(Wire::Single(env));
             }
             policy => {
                 self.charge(self.cost.pack_cost);
@@ -383,11 +519,7 @@ impl<M: MsgSize + Send> Node<M> {
                         },
                     );
                 }
-                let len = {
-                    let mut bufs = self.outbuf.borrow_mut();
-                    bufs[dst].push((msg, payload));
-                    bufs[dst].len()
-                };
+                let len = self.outbuf.borrow_mut().push(dst, (msg, payload));
                 self.pending.set(self.pending.get() + 1);
                 if let CoalescePolicy::Threshold(n) = policy {
                     if len >= n.max(1) {
@@ -408,7 +540,12 @@ impl<M: MsgSize + Send> Node<M> {
         if self.pending.get() == 0 {
             return;
         }
-        for dst in 0..self.nprocs {
+        // Visit only destinations that buffered something since the last
+        // flush, in ascending rank order so the per-destination clock
+        // charges land exactly as the old 0..nprocs scan did. (The dirty
+        // list is taken first: `flush_dst` re-borrows the buffers.)
+        let dirty = self.outbuf.borrow_mut().take_dirty();
+        for dst in dirty {
             self.flush_dst(dst);
         }
     }
@@ -428,7 +565,7 @@ impl<M: MsgSize + Send> Node<M> {
     /// Flush one destination's buffer as a single wire envelope: one
     /// `send_overhead`, one header, summed payload bytes.
     fn flush_dst(&self, dst: usize) {
-        let parts = std::mem::take(&mut self.outbuf.borrow_mut()[dst]);
+        let parts = self.outbuf.borrow_mut().take(dst);
         if parts.is_empty() {
             return;
         }
@@ -455,7 +592,7 @@ impl<M: MsgSize + Send> Node<M> {
             parts,
             vc: self.vc_stamp(),
         };
-        let _ = self.txs[dst].send(wire);
+        let _ = self.route.txs[dst].send(wire);
     }
 
     /// Expand one wire message into inbox entries. Arrival is computed
@@ -496,8 +633,14 @@ impl<M: MsgSize + Send> Node<M> {
     /// delivers in send order per source and the inbox is a queue. A
     /// coalesced batch counts as one pull but may expand past the burst
     /// limit; the limit only bounds channel synchronization per burst.
+    ///
+    /// Deterministic mode ignores the burst limit and drains the whole
+    /// backlog: the seeded pop ranks the candidates it can see, so a
+    /// bounded drain would let wall-clock channel order decide *which*
+    /// 64 candidates compete — visible as replay divergence on machines
+    /// whose backlog exceeds one burst (256 senders racing one inbox).
     fn drain_burst(&self, inbox: &mut VecDeque<Inbound<M>>) {
-        let limit = self.drain_batch.get();
+        let limit = if self.det_seed.is_some() { usize::MAX } else { self.drain_batch.get() };
         while inbox.len() < limit {
             match self.rx.try_recv() {
                 Ok(w) => self.enqueue_wire(w, inbox),
@@ -525,17 +668,34 @@ impl<M: MsgSize + Send> Node<M> {
         if inbox.len() <= 1 {
             return inbox.pop_front();
         }
-        // Sources whose head entry has been considered; ranks are bounded
-        // by MAX_NODES = 64, so a u64 bitmask covers them.
-        let mut seen: u64 = 0;
+        // Sources whose head entry has been considered: a single u64
+        // bitmask covers machines up to 64 ranks; wider machines get a
+        // word-bitmap allocated per pop (deterministic mode is a replay /
+        // debugging mode, so the allocation is off the production path).
+        let mut seen_small: u64 = 0;
+        let mut seen_wide: Option<Box<[u64]>> =
+            (self.nprocs > 64).then(|| vec![0u64; self.nprocs.div_ceil(64)].into_boxed_slice());
         let mut best: Option<(u64, u64, usize)> = None;
         for (i, inb) in inbox.iter().enumerate() {
-            let bit = 1u64 << (inb.env.src as u64 & 63);
-            if seen & bit != 0 {
+            let src = inb.env.src;
+            let newly_seen = match &mut seen_wide {
+                Some(words) => {
+                    let bit = 1u64 << (src % 64);
+                    let fresh = words[src / 64] & bit == 0;
+                    words[src / 64] |= bit;
+                    fresh
+                }
+                None => {
+                    let bit = 1u64 << (src as u64 & 63);
+                    let fresh = seen_small & bit == 0;
+                    seen_small |= bit;
+                    fresh
+                }
+            };
+            if !newly_seen {
                 continue;
             }
-            seen |= bit;
-            let key = (inb.arrival, det_mix(seed, inb.env.src as u64, inb.arrival));
+            let key = (inb.arrival, det_mix(seed, src as u64, inb.arrival));
             if best.is_none_or(|(a, m, _)| (key.0, key.1) < (a, m)) {
                 best = Some((key.0, key.1, i));
             }
@@ -579,10 +739,29 @@ impl<M: MsgSize + Send> Node<M> {
             }
         }
         self.flush_coalesced();
-        match self.rx.recv_timeout(d) {
+        // Under the multiplexed backend this channel wait is the yield
+        // point: give the execution slot up for exactly the park, take it
+        // back before touching node state (including the error paths — a
+        // peer-death panic below unwinds while holding the slot, and the
+        // thread-exit release is idempotent).
+        let waited = match &self.slot {
+            Some(slot) => {
+                slot.release();
+                let r = self.rx.recv_timeout(d);
+                slot.acquire();
+                r
+            }
+            None => self.rx.recv_timeout(d),
+        };
+        match waited {
             Ok(w) => {
                 let mut inbox = self.inbox.borrow_mut();
                 self.enqueue_wire(w, &mut inbox);
+                if self.det_seed.is_some() {
+                    // Same widest-candidate-set rule as `try_recv`: rank
+                    // everything already queued, not just this arrival.
+                    self.drain_burst(&mut inbox);
+                }
                 let inb = self.pop_inbox(&mut inbox).expect("wire expands to at least one message");
                 drop(inbox);
                 self.absorb(&inb);
@@ -621,24 +800,39 @@ impl<M: MsgSize + Send> Node<M> {
     /// Diagnose a dead peer and panic immediately instead of letting the
     /// caller stall into the watchdog.
     fn peer_exited(&self, what: &str) -> ! {
-        let culprit = self.failed.load(Ordering::SeqCst);
+        let culprit = self.route.failed.load(Ordering::SeqCst);
         if culprit >= 0 {
-            panic!("node {}: peer exited (node {culprit} died) while: {what}", self.rank);
+            panic!(
+                "node {}: peer exited (node {culprit} died{}) while: {what}",
+                self.rank,
+                self.route.failure_detail()
+            );
         }
         panic!("node {}: peer exited while: {what}", self.rank);
     }
 
     /// Panic if some peer's thread has died by panic: a message this node
     /// is waiting on may never arrive, so failing fast with the culprit's
-    /// rank beats a silent multi-second watchdog stall.
+    /// rank (and its panic message, read lock-free off the routing table)
+    /// beats a silent multi-second watchdog stall.
     fn check_peers(&self, what: &str) {
-        let culprit = self.failed.load(Ordering::SeqCst);
+        let culprit = self.route.failed.load(Ordering::SeqCst);
         if culprit >= 0 && culprit as usize != self.rank {
             panic!(
-                "node {}: peer exited (node {culprit} died) while waiting for: {what}",
-                self.rank
+                "node {}: peer exited (node {culprit} died{}) while waiting for: {what}",
+                self.rank,
+                self.route.failure_detail()
             );
         }
+    }
+
+    /// The watchdog deadline scaled to machine size: a 4096-node barrier
+    /// legitimately takes longer to drain over a core-sized worker pool
+    /// than a 4-node one, so the configured timeout grows by one multiple
+    /// per 64 ranks. Machines up to 64 nodes keep the configured value
+    /// exactly (the timing-sensitive tests pin small machines).
+    fn effective_watchdog(&self) -> Duration {
+        self.watchdog.get().saturating_mul(1 + (self.nprocs / 64) as u32)
     }
 
     /// Spin-with-backoff until `pred` returns true, invoking `handle` on
@@ -692,9 +886,11 @@ impl<M: MsgSize + Send> Node<M> {
         mut pred: impl FnMut() -> bool,
     ) {
         let start = Instant::now();
+        let mut idle = IDLE_POLL_FLOOR;
         loop {
             match self.try_recv() {
                 Some(env) => {
+                    idle = IDLE_POLL_FLOOR;
                     handle(self, env);
                     self.flush_after_handle();
                     if pred() {
@@ -705,8 +901,9 @@ impl<M: MsgSize + Send> Node<M> {
                     if pred() {
                         return;
                     }
-                    match self.recv_timeout(Duration::from_micros(100)) {
+                    match self.recv_timeout(idle) {
                         Some(env) => {
+                            idle = IDLE_POLL_FLOOR;
                             handle(self, env);
                             self.flush_after_handle();
                             if pred() {
@@ -714,8 +911,9 @@ impl<M: MsgSize + Send> Node<M> {
                             }
                         }
                         None => {
+                            idle = (idle * 2).min(IDLE_POLL_CEIL);
                             self.check_peers(what);
-                            if start.elapsed() > self.watchdog.get() {
+                            if start.elapsed() > self.effective_watchdog() {
                                 if self.sink.enabled() {
                                     // Dump this node's wait-graph view before
                                     // dying: which hook/region the stall sits

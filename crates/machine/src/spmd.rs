@@ -5,7 +5,9 @@
 //! into a [`MachineBuilder`] instead of the former scattered per-node
 //! mutators.
 
-use std::sync::atomic::{AtomicIsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -15,8 +17,9 @@ use crossbeam::channel::unbounded;
 use crate::cost::CostModel;
 use crate::envelope::MsgSize;
 use crate::node::{
-    CheckMode, CoalescePolicy, Node, NodeSetup, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG,
+    CheckMode, CoalescePolicy, Node, NodeSetup, RouteTable, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG,
 };
+use crate::sched::{default_workers, ExecBackend, Scheduler, SlotHandle, MUX_STACK_BYTES};
 use crate::stats::{MachineStats, NodeStats};
 use crate::MAX_NODES;
 
@@ -58,6 +61,8 @@ pub struct MachineBuilder {
     coalesce: CoalescePolicy,
     check: CheckMode,
     det_seed: Option<u64>,
+    backend: ExecBackend,
+    workers: Option<usize>,
 }
 
 impl Default for MachineBuilder {
@@ -78,6 +83,8 @@ impl MachineBuilder {
             coalesce: CoalescePolicy::Off,
             check: CheckMode::Off,
             det_seed: None,
+            backend: ExecBackend::default(),
+            workers: None,
         }
     }
 
@@ -138,6 +145,24 @@ impl MachineBuilder {
         self
     }
 
+    /// How simulated nodes map onto OS execution (see [`ExecBackend`]).
+    /// `Threads` (the default) runs every node as a free OS thread;
+    /// `Multiplexed` gates execution through a worker-sized slot pool and
+    /// shrinks per-node stacks, which is what makes 256–4096-node machines
+    /// practical on a desktop.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Width of the execution-slot pool under [`ExecBackend::Multiplexed`]
+    /// (default: one slot per host core). Ignored under `Threads`.
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one worker slot");
+        self.workers = Some(n);
+        self
+    }
+
     /// Launch `nprocs` simulated processors, each running `f` with its own
     /// [`Node`], in the single-program-multiple-data style of the paper
     /// ("a single user thread per processor (SPMD)", §3.1).
@@ -179,8 +204,15 @@ impl MachineBuilder {
             txs.push(tx);
             rxs.push(rx);
         }
-        let txs = Arc::new(txs);
-        let failed = Arc::new(AtomicIsize::new(-1));
+        let sched = match self.backend {
+            ExecBackend::Threads => None,
+            ExecBackend::Multiplexed => {
+                Some(Arc::new(Scheduler::new(self.workers.unwrap_or_else(default_workers))))
+            }
+        };
+        // One shared routing table: every node clones one `Arc`, so wiring
+        // an n-node machine is O(n), not n copies of n senders.
+        let route = Arc::new(RouteTable::new(txs, sched));
 
         let start = Instant::now();
         type Outcome<R> = (R, NodeStats, Option<NodeTrace>);
@@ -192,18 +224,65 @@ impl MachineBuilder {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nprocs);
             for (rank, rx) in rxs.into_iter().enumerate() {
-                let txs = Arc::clone(&txs);
+                let route = Arc::clone(&route);
                 let cost = Arc::clone(&cost);
-                let failed = Arc::clone(&failed);
                 let setup = &setup;
                 let f = &f;
-                handles.push(scope.spawn(move || {
-                    let _guard = FailGuard { rank, failed: Arc::clone(&failed) };
-                    let node = Node::new(rank, nprocs, rx, txs, cost, failed, setup);
-                    let r = f(&node);
-                    let stats = node.stats();
-                    (r, stats, node.take_trace())
-                }));
+                let mut builder = std::thread::Builder::new().name(format!("node-{rank}"));
+                if route.sched.is_some() {
+                    // Multiplexed machines run thousands of mostly-parked
+                    // threads; shrink their stacks from the platform default
+                    // (often 8 MiB) so the address-space bill stays sane.
+                    builder = builder.stack_size(MUX_STACK_BYTES);
+                }
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        // Under Multiplexed, hold an execution slot for the
+                        // whole computation except the channel parks inside
+                        // `recv_timeout` (the yield points). The final
+                        // release is idempotent, so it is safe no matter
+                        // where a panic unwound from.
+                        let slot =
+                            route.sched.as_ref().map(|s| Rc::new(SlotHandle::new(Arc::clone(s))));
+                        if let Some(s) = &slot {
+                            s.acquire();
+                        }
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let node = Node::new(
+                                rank,
+                                nprocs,
+                                rx,
+                                Arc::clone(&route),
+                                cost,
+                                slot.clone(),
+                                setup,
+                            );
+                            let r = f(&node);
+                            let stats = node.stats();
+                            (r, stats, node.take_trace())
+                        }));
+                        if let Some(s) = &slot {
+                            s.release();
+                        }
+                        match out {
+                            Ok(out) => out,
+                            Err(e) => {
+                                // Publish rank + message (first writer wins)
+                                // so blocked peers fail fast naming the root
+                                // cause, then let the panic continue into
+                                // the join below.
+                                let msg = e
+                                    .downcast_ref::<String>()
+                                    .map(|s| s.as_str())
+                                    .or_else(|| e.downcast_ref::<&str>().copied())
+                                    .unwrap_or("<non-string panic>");
+                                route.record_failure(rank, msg.to_string());
+                                std::panic::resume_unwind(e);
+                            }
+                        }
+                    })
+                    .expect("spawn node thread");
+                handles.push(handle);
             }
             let mut failures: Vec<(usize, String)> = Vec::new();
             for (rank, h) in handles.into_iter().enumerate() {
@@ -220,7 +299,7 @@ impl MachineBuilder {
                 }
             }
             if !failures.is_empty() {
-                let culprit = failed.load(Ordering::SeqCst);
+                let culprit = route.failed.load(Ordering::SeqCst);
                 let (rank, msg) =
                     failures.iter().find(|(r, _)| *r as isize == culprit).unwrap_or(&failures[0]);
                 panic!("node {rank} panicked: {msg}");
@@ -242,28 +321,6 @@ impl MachineBuilder {
         let trace = self.trace.enabled.then_some(MachineTrace { nodes: node_traces });
         let sim_ns = stats.sim_time();
         SpmdResult { results, stats, sim_ns, wall, trace }
-    }
-}
-
-/// Records the first rank whose thread dies by panic into the machine-wide
-/// failure flag, so peers blocked in a poll loop can fail fast with a
-/// "peer exited" diagnostic instead of stalling into the watchdog.
-struct FailGuard {
-    rank: usize,
-    failed: Arc<AtomicIsize>,
-}
-
-impl Drop for FailGuard {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            // First writer wins: cascade panics must not mask the culprit.
-            let _ = self.failed.compare_exchange(
-                -1,
-                self.rank as isize,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-        }
     }
 }
 

@@ -36,7 +36,7 @@ fn snap(rt: &AceRt, e: &RegionEntry) -> Snap {
     Snap {
         st: e.st.get(),
         aux: e.aux.get(),
-        sharers: e.sharers.get(),
+        sharers: e.sharers.fingerprint(),
         owner: e.owner.get(),
         pending: e.pending.get(),
         blocked: e.blocked.borrow().len(),

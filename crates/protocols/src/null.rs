@@ -72,7 +72,7 @@ impl Protocol for NullProtocol {
         if !e.is_home_of(rt.rank()) {
             e.st.set(crate::states::R_INVALID);
         }
-        e.sharers.set(0);
+        e.sharers.clear();
         e.owner.set(-1);
         e.pending.set(0);
         e.aux.set(0);

@@ -132,7 +132,7 @@ impl SeqInvalidate {
 
     /// Home side: grant an exclusive copy to `to`.
     fn grant_exclusive(&self, rt: &AceRt, e: &RegionEntry, to: usize) {
-        e.sharers.set(0);
+        e.sharers.clear();
         e.owner.set(to as i32);
         rt.send_proto(to, e.id, op::DATA_X, 0, Some(e.clone_data()));
     }
@@ -178,7 +178,7 @@ impl SeqInvalidate {
             // needs an empty sharer list (no invalidation sweep).
             if e.owner.get() == -1 && !Self::has_bit(e, BUSY) {
                 fast = fast.union(Actions::START_READ);
-                if e.sharers.get() == 0 {
+                if e.sharers.is_empty() {
                     fast = fast.union(Actions::START_WRITE);
                 }
             }
@@ -315,11 +315,11 @@ impl SeqInvalidate {
 
     fn slow_start_write(&self, rt: &AceRt, e: &RegionEntry) {
         if e.is_home_of(rt.rank()) {
-            if e.owner.get() != -1 || Self::has_bit(e, BUSY) || e.sharers.get() != 0 {
+            if e.owner.get() != -1 || Self::has_bit(e, BUSY) || !e.sharers.is_empty() {
                 rt.counters_mut(|c| c.write_misses += 1);
             }
             self.home_acquire_master(rt, e);
-            if e.sharers.get() != 0 {
+            if !e.sharers.is_empty() {
                 Self::set_bit(e, BUSY);
                 self.sweep_sharers(rt, e, None);
                 rt.wait("sharer invalidations", || e.pending.get() == 0);

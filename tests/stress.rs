@@ -193,5 +193,5 @@ fn unmapped_access_is_diagnosed() {
 #[test]
 #[should_panic(expected = "at most")]
 fn oversized_machine_is_rejected() {
-    run_ace(65, CostModel::free(), |_| ());
+    run_ace(ace::machine::MAX_NODES + 1, CostModel::free(), |_| ());
 }
