@@ -1,0 +1,144 @@
+//! The transport backend must be invisible to the program. Whether wire
+//! envelopes move through in-process channels (`TransportKind::InProc`)
+//! or are framed by the codec and carried over real loopback sockets
+//! between the node threads (`TransportKind::socket_loopback()`), the
+//! machine executes the same logical computation: the substrate only
+//! changes *how* an envelope travels, never what it says. So the same
+//! workload on both transports has to agree on every logical observable —
+//! the verification value, the per-node digest of every home region, the
+//! logical message counts (total and per protocol tag), the annotation
+//! counters, and the conformance checker's verdict.
+//!
+//! Two observables are deliberately excluded:
+//!
+//! * **wire-envelope grouping** — how many protocol replies coalesce
+//!   between two blocking points depends on arrival timing, which the
+//!   socket path perturbs at least as much as OS scheduling does; the
+//!   wire count is only bounded by the logical count.
+//! * **byte accounting** — the socket transport charges its own framing
+//!   header ([`SOCKET_HEADER_BYTES`] = 23 bytes) where the in-process
+//!   backend charges the simulated CM-5 header (20 bytes), so byte
+//!   totals and the virtual clocks they feed legitimately differ. That
+//!   is a *cost model* difference, not a behavioral one, and nothing
+//!   logical may depend on it.
+
+use std::collections::BTreeMap;
+
+use ace_apps::{em3d, water, AceDsm, Variant};
+use ace_core::{run_ace_with, CheckMode, CostModel, OpCounters, Spmd, TraceConfig, TransportKind};
+
+/// Logical observables for one traced run.
+struct Obs {
+    verification: f64,
+    digests: Vec<u64>,
+    counters: OpCounters,
+    msgs: u64,
+    wire_msgs: u64,
+    violations: u64,
+    /// Protocol tag -> logical message count.
+    per_tag: BTreeMap<&'static str, u64>,
+}
+
+fn run_app<F>(transport: TransportKind, nprocs: usize, f: F) -> Obs
+where
+    F: Fn(&AceDsm) -> f64 + Sync,
+{
+    let r = run_ace_with(
+        Spmd::builder()
+            .nprocs(nprocs)
+            .cost(CostModel::cm5())
+            .trace(TraceConfig::on())
+            .check(CheckMode::Log)
+            .transport(transport),
+        |rt| {
+            let d = AceDsm::new(rt);
+            let v = f(&d);
+            // Rendezvous so every node's digest sees the settled final state.
+            rt.machine_barrier();
+            (v, rt.data_digest(), rt.counters())
+        },
+    );
+    let mut counters = OpCounters::default();
+    for (_, _, c) in &r.results {
+        counters.merge(c);
+    }
+    let trace = r.trace.expect("trace requested");
+    let per_tag = trace.summary().tags.iter().map(|t| (t.tag, t.logical)).collect();
+    Obs {
+        verification: r.results[0].0,
+        digests: r.results.iter().map(|(_, d, _)| *d).collect(),
+        counters,
+        msgs: r.stats.total_msgs(),
+        wire_msgs: r.stats.total_wire_msgs(),
+        violations: r.stats.total_violations(),
+        per_tag,
+    }
+}
+
+/// Full logical bit-equivalence across transports; wire grouping and byte
+/// accounting excluded per the module comment.
+fn assert_equivalent(ip: &Obs, sk: &Obs, ctx: &str) {
+    assert_eq!(ip.verification.to_bits(), sk.verification.to_bits(), "{ctx}: verification value");
+    assert_eq!(ip.digests, sk.digests, "{ctx}: per-node region digests");
+    assert_eq!(ip.msgs, sk.msgs, "{ctx}: total logical message count");
+    assert_eq!(ip.per_tag, sk.per_tag, "{ctx}: per-tag logical message counts");
+    let strip = |c: &OpCounters| OpCounters { wire_msgs: 0, ..c.clone() };
+    assert_eq!(strip(&ip.counters), strip(&sk.counters), "{ctx}: counters");
+    assert_eq!(ip.violations, sk.violations, "{ctx}: conformance report");
+    assert_eq!(ip.violations, 0, "{ctx}: checker counted violations");
+    for (name, o) in [("inproc", ip), ("socket", sk)] {
+        assert!(
+            o.wire_msgs <= o.msgs,
+            "{ctx}/{name}: coalescing can only merge envelopes (wire={} logical={})",
+            o.wire_msgs,
+            o.msgs
+        );
+    }
+}
+
+#[test]
+fn em3d_transports_agree() {
+    let p = em3d::Params {
+        e_nodes: 64,
+        h_nodes: 64,
+        degree: 3,
+        pct_remote: 25,
+        steps: 2,
+        seed: 11,
+        hoist_maps: false,
+    };
+    for variant in [Variant::Sc, Variant::Custom] {
+        let ip = run_app(TransportKind::InProc, 8, |d| em3d::run(d, &p, variant));
+        let sk = run_app(TransportKind::socket_loopback(), 8, |d| em3d::run(d, &p, variant));
+        assert_equivalent(&ip, &sk, "em3d");
+    }
+}
+
+#[test]
+fn water_transports_agree() {
+    let p = water::Params { molecules: 32, steps: 2, seed: 5 };
+    for variant in [Variant::Sc, Variant::Custom] {
+        let ip = run_app(TransportKind::InProc, 8, |d| water::run(d, &p, variant));
+        let sk = run_app(TransportKind::socket_loopback(), 8, |d| water::run(d, &p, variant));
+        assert_equivalent(&ip, &sk, "water");
+    }
+}
+
+#[test]
+fn em3d_transports_agree_at_16_ranks() {
+    // The upper end of the ISSUE's equivalence bar: 16 ranks means a
+    // 120-connection full mesh over loopback, with the checker's vector
+    // clocks riding every envelope through the codec.
+    let p = em3d::Params {
+        e_nodes: 64,
+        h_nodes: 64,
+        degree: 2,
+        pct_remote: 20,
+        steps: 1,
+        seed: 3,
+        hoist_maps: true,
+    };
+    let ip = run_app(TransportKind::InProc, 16, |d| em3d::run(d, &p, Variant::Custom));
+    let sk = run_app(TransportKind::socket_loopback(), 16, |d| em3d::run(d, &p, Variant::Custom));
+    assert_equivalent(&ip, &sk, "em3d @ 16");
+}

@@ -75,14 +75,7 @@ fn main() {
 /// A completed run already proves zero violations — `Fail` panics on the
 /// first one — and the recorded count is asserted anyway.
 fn run_check(args: &[String], scale: Scale, procs: usize, runs: usize) {
-    let list = arg_str(args, "--check").filter(|s| !s.starts_with("--"));
-    let apps: Vec<String> = list
-        .as_deref()
-        .unwrap_or("em3d,water")
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect();
+    let apps = ace_bench::parse_apps(args, "--check", &["em3d", "water"]);
     let refs: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
 
     println!("Conformance-checker overhead (CheckMode::Fail vs off), {procs} procs, {runs} runs");

@@ -118,12 +118,7 @@ fn main() {
         smoke();
         return;
     }
-    let apps: Vec<String> = args
-        .iter()
-        .position(|a| a == "--app")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').map(|a| a.trim().to_string()).collect())
-        .unwrap_or_else(|| APPS.iter().map(|s| s.to_string()).collect());
+    let apps: Vec<String> = ace_bench::parse_apps(&args, "--app", &APPS);
     let min = arg_val(&args, "--min").unwrap_or(2).max(2);
     let max = arg_val(&args, "--max").unwrap_or(MAX_NODES).min(MAX_NODES);
     let runs = arg_val(&args, "--runs").unwrap_or(1);

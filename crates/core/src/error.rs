@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use ace_machine::ConfigError;
+
 use crate::ids::{RegionId, SpaceId};
 
 /// One completed access section, as recorded by the conformance checker
@@ -131,6 +133,16 @@ pub enum AceError {
         /// What exactly went wrong.
         kind: ConformanceKind,
     },
+    /// The machine configuration combined incompatible knobs (e.g. the
+    /// socket transport with the deterministic scheduler); rejected
+    /// eagerly before any node is spawned.
+    Config(ConfigError),
+}
+
+impl From<ConfigError> for AceError {
+    fn from(e: ConfigError) -> Self {
+        AceError::Config(e)
+    }
 }
 
 impl fmt::Display for AceError {
@@ -151,6 +163,9 @@ impl fmt::Display for AceError {
             }
             AceError::UnknownSpace { space, rank } => {
                 write!(f, "unknown space {space} on node {rank}")
+            }
+            AceError::Config(e) => {
+                write!(f, "invalid machine configuration: {e}")
             }
             AceError::Conformance { region, rank, kind } => {
                 write!(f, "conformance violation on region {region}: ")?;
@@ -223,6 +238,14 @@ mod tests {
         assert!(AceError::UnknownSpace { space: SpaceId(7), rank: 1 }
             .to_string()
             .contains("unknown space"));
+    }
+
+    #[test]
+    fn config_errors_wrap_with_context() {
+        let e: AceError = ConfigError::SocketDeterministic.into();
+        let s = e.to_string();
+        assert!(s.contains("invalid machine configuration"), "{s}");
+        assert!(s.contains("deterministic"), "{s}");
     }
 
     #[test]

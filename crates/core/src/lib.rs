@@ -37,9 +37,10 @@ pub mod space;
 
 pub use ace_machine::pod::{self, Pod};
 pub use ace_machine::{
-    validate_chrome_trace, CheckMode, ChromeCheck, CoalescePolicy, CostModel, Envelope, EventKind,
-    ExecBackend, Hook, MachineBuilder, MachineTrace, Node, NodeTrace, Spmd, SpmdResult,
-    TraceConfig, TraceEvent, TraceSummary, MAX_NODES,
+    validate_chrome_trace, CheckMode, ChromeCheck, CoalescePolicy, ConfigError, CostModel,
+    Envelope, EventKind, ExecBackend, Hook, MachineBuilder, MachineTrace, Node, NodeTrace, RankRun,
+    SockAddr, SocketCfg, Spmd, SpmdResult, TraceConfig, TraceEvent, TraceSummary, TransportKind,
+    MAX_NODES,
 };
 pub use counters::OpCounters;
 pub use error::{AceError, ConformanceKind, SectionRecord};
@@ -90,4 +91,28 @@ where
         rt.shutdown();
         r
     })
+}
+
+/// Run ONE rank of a multi-process Ace machine in this OS process.
+///
+/// The builder must select `TransportKind::Socket` with a concrete
+/// rendezvous address; the other ranks are peer processes calling
+/// `run_ace_rank` with the same machine size and address (rank 0 hosts the
+/// rendezvous). Same shutdown-barrier contract as [`run_ace`], so all
+/// processes leave together. Configuration problems come back as
+/// [`AceError::Config`] before any socket is opened.
+pub fn run_ace_rank<R, F>(
+    builder: MachineBuilder,
+    rank: usize,
+    f: F,
+) -> Result<RankRun<R>, AceError>
+where
+    F: FnOnce(&AceRt) -> R,
+{
+    Ok(builder.spawn_rank(rank, |node| {
+        let rt = AceRt::new(node);
+        let r = f(&rt);
+        rt.shutdown();
+        r
+    })?)
 }

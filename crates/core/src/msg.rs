@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use ace_machine::transport::{put_words, CodecError, WireCodec, WireReader};
 use ace_machine::MsgSize;
 
 use crate::ids::{RegionId, SpaceId};
@@ -88,6 +89,119 @@ impl MsgSize for AceMsg {
     }
 }
 
+/// Wire tags for [`AceMsg`] variants (socket-transport framing).
+const T_PROTO: u8 = 0;
+const T_META_REQ: u8 = 1;
+const T_META_REPLY: u8 = 2;
+const T_BAR_ARRIVE: u8 = 3;
+const T_BAR_RELEASE: u8 = 4;
+const T_LOCK_REQ: u8 = 5;
+const T_LOCK_GRANT: u8 = 6;
+const T_LOCK_RELEASE: u8 = 7;
+const T_BCAST: u8 = 8;
+const T_GATHER: u8 = 9;
+
+fn put_opt_words(out: &mut Vec<u8>, vals: &Option<Arc<[u64]>>) {
+    match vals {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_words(out, v);
+        }
+    }
+}
+
+fn get_opt_words(r: &mut WireReader<'_>) -> Result<Option<Arc<[u64]>>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.words()?.into())),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+impl WireCodec for AceMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AceMsg::Proto(p) => {
+                out.push(T_PROTO);
+                p.region.0.encode(out);
+                out.extend_from_slice(&p.op.to_le_bytes());
+                out.extend_from_slice(&p.from.to_le_bytes());
+                p.arg.encode(out);
+                put_opt_words(out, &p.data);
+            }
+            AceMsg::MetaReq { region } => {
+                out.push(T_META_REQ);
+                region.0.encode(out);
+            }
+            AceMsg::MetaReply { region, space, words } => {
+                out.push(T_META_REPLY);
+                region.0.encode(out);
+                out.extend_from_slice(&space.0.to_le_bytes());
+                words.encode(out);
+            }
+            AceMsg::BarArrive { tag, epoch } => {
+                out.push(T_BAR_ARRIVE);
+                out.extend_from_slice(&tag.to_le_bytes());
+                epoch.encode(out);
+            }
+            AceMsg::BarRelease { tag, epoch } => {
+                out.push(T_BAR_RELEASE);
+                out.extend_from_slice(&tag.to_le_bytes());
+                epoch.encode(out);
+            }
+            AceMsg::LockReq { region } => {
+                out.push(T_LOCK_REQ);
+                region.0.encode(out);
+            }
+            AceMsg::LockGrant { region } => {
+                out.push(T_LOCK_GRANT);
+                region.0.encode(out);
+            }
+            AceMsg::LockRelease { region } => {
+                out.push(T_LOCK_RELEASE);
+                region.0.encode(out);
+            }
+            AceMsg::Bcast { seq, vals } => {
+                out.push(T_BCAST);
+                seq.encode(out);
+                put_words(out, vals);
+            }
+            AceMsg::Gather { seq, vals } => {
+                out.push(T_GATHER);
+                seq.encode(out);
+                put_words(out, vals);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            T_PROTO => AceMsg::Proto(ProtoMsg {
+                region: RegionId(r.u64()?),
+                op: r.u16()?,
+                from: r.u16()?,
+                arg: r.u64()?,
+                data: get_opt_words(r)?,
+            }),
+            T_META_REQ => AceMsg::MetaReq { region: RegionId(r.u64()?) },
+            T_META_REPLY => AceMsg::MetaReply {
+                region: RegionId(r.u64()?),
+                space: SpaceId(r.u32()?),
+                words: r.u64()?,
+            },
+            T_BAR_ARRIVE => AceMsg::BarArrive { tag: r.u32()?, epoch: r.u64()? },
+            T_BAR_RELEASE => AceMsg::BarRelease { tag: r.u32()?, epoch: r.u64()? },
+            T_LOCK_REQ => AceMsg::LockReq { region: RegionId(r.u64()?) },
+            T_LOCK_GRANT => AceMsg::LockGrant { region: RegionId(r.u64()?) },
+            T_LOCK_RELEASE => AceMsg::LockRelease { region: RegionId(r.u64()?) },
+            T_BCAST => AceMsg::Bcast { seq: r.u64()?, vals: r.words()?.into() },
+            T_GATHER => AceMsg::Gather { seq: r.u64()?, vals: r.words()?.into() },
+            t => return Err(CodecError::BadTag(t)),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +247,57 @@ mod tests {
             })
         };
         assert_eq!(mk().size_bytes() + mk().size_bytes(), 2 * (12 + 128));
+    }
+
+    #[test]
+    fn every_variant_round_trips_the_wire_codec() {
+        let msgs = vec![
+            AceMsg::Proto(ProtoMsg {
+                region: RegionId::new(3, 17),
+                op: 9,
+                from: 2,
+                arg: 0xDEAD_BEEF,
+                data: Some(Arc::from(vec![1u64, 2, 3])),
+            }),
+            AceMsg::Proto(ProtoMsg { region: RegionId::NULL, op: 0, from: 0, arg: 0, data: None }),
+            AceMsg::MetaReq { region: RegionId::new(1, 5) },
+            AceMsg::MetaReply { region: RegionId::new(1, 5), space: SpaceId(2), words: 64 },
+            AceMsg::BarArrive { tag: 7, epoch: 3 },
+            AceMsg::BarRelease { tag: 7, epoch: 3 },
+            AceMsg::LockReq { region: RegionId::new(0, 1) },
+            AceMsg::LockGrant { region: RegionId::new(0, 1) },
+            AceMsg::LockRelease { region: RegionId::new(0, 1) },
+            AceMsg::Bcast { seq: 4, vals: Arc::from(vec![10u64, 20]) },
+            AceMsg::Gather { seq: 4, vals: Arc::from(Vec::<u64>::new()) },
+        ];
+        for m in &msgs {
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            let mut r = WireReader::new(&buf);
+            let back = AceMsg::decode(&mut r).expect("decode");
+            assert_eq!(r.remaining(), 0, "decode must consume the whole frame");
+            // AceMsg carries Arc payloads, so compare via Debug plus the
+            // accounting the rest of the stack relies on.
+            assert_eq!(format!("{back:?}"), format!("{m:?}"));
+            assert_eq!(back.size_bytes(), m.size_bytes());
+            assert_eq!(back.tag(), m.tag());
+        }
+    }
+
+    #[test]
+    fn truncated_ace_frames_are_rejected() {
+        let m = AceMsg::MetaReply { region: RegionId::new(2, 9), space: SpaceId(1), words: 8 };
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                AceMsg::decode(&mut WireReader::new(&buf[..cut])).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        assert!(matches!(
+            AceMsg::decode(&mut WireReader::new(&[200u8])),
+            Err(CodecError::BadTag(200))
+        ));
     }
 }

@@ -52,6 +52,34 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// What actually travels on the transport: either a plain envelope or a
+/// coalesced batch of logical messages bound for the same destination.
+/// The batch is the *wire* unit — it pays latency, header and overheads
+/// once; its parts are re-expanded into individual [`Envelope`]s on the
+/// receiving side so handlers never see batching.
+///
+/// This is the unit a [`crate::transport::Transport`] backend carries:
+/// the in-process backend moves it through a channel, the socket backend
+/// frames it with [`crate::transport::WireCodec`].
+#[derive(Debug)]
+pub enum Wire<M> {
+    /// One logical message, one wire envelope.
+    Single(Envelope<M>),
+    /// A coalesced flush of one destination's buffered messages.
+    Batch {
+        /// Sending node's rank.
+        src: usize,
+        /// Sender's virtual clock at flush.
+        send_time: u64,
+        /// Summed payload bytes of all parts plus one wire header.
+        wire_bytes: usize,
+        /// `(msg, payload_bytes)` in send order.
+        parts: Vec<(M, usize)>,
+        /// Sender's vector clock at flush, when checking is enabled.
+        vc: Option<std::sync::Arc<[u64]>>,
+    },
+}
+
 impl MsgSize for () {
     fn size_bytes(&self) -> usize {
         0

@@ -4,7 +4,10 @@
 //! (a 32-node Thinking Machines CM-5 with Active Messages): a fixed set of
 //! *nodes*, each a single-threaded processor with private memory, that
 //! communicate **only** by sending typed messages to each other. Each node is
-//! an OS thread; the "network" is a set of crossbeam channels.
+//! an OS thread; the "network" is a pluggable [`Transport`] backend — by
+//! default in-process channels ([`TransportKind::InProc`]), optionally real
+//! length-prefixed sockets ([`TransportKind::Socket`]) so ranks can live in
+//! separate OS processes (see [`MachineBuilder::spawn_rank`]).
 //!
 //! Two kinds of time are tracked:
 //!
@@ -29,15 +32,20 @@ pub mod pod;
 pub mod sched;
 pub mod spmd;
 pub mod stats;
+pub mod transport;
 
 pub use cost::CostModel;
-pub use envelope::{Envelope, MsgSize};
+pub use envelope::{Envelope, MsgSize, Wire, HEADER_BYTES};
 pub use lockfree::LfCell;
 pub use node::{CheckMode, CoalescePolicy, Node};
 pub use pod::Pod;
 pub use sched::ExecBackend;
-pub use spmd::{MachineBuilder, Spmd, SpmdResult};
+pub use spmd::{MachineBuilder, RankRun, Spmd, SpmdResult};
 pub use stats::{MachineStats, NodeStats};
+pub use transport::{
+    CodecError, ConfigError, InProcTransport, SockAddr, SocketCfg, SocketTransport, Transport,
+    TransportKind, WireCodec, WireReader, SOCKET_HEADER_BYTES, SOCKET_MAX_RANKS,
+};
 // Re-exported so downstream crates configure and consume tracing without
 // depending on `ace-trace` directly.
 pub use ace_trace::{

@@ -3,18 +3,16 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ace_trace::{EventKind, MachineTrace, NodeTrace, TraceConfig, TraceSink};
-use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
 use crate::cost::CostModel;
-use crate::envelope::{Envelope, MsgSize, HEADER_BYTES};
-use crate::lockfree::LfCell;
-use crate::sched::{Scheduler, SlotHandle};
+use crate::envelope::{Envelope, MsgSize, Wire};
+use crate::sched::SlotHandle;
 use crate::stats::NodeStats;
+use crate::transport::{Transport, TryWireError, WaitWireError};
 
 /// How long a node's idle poll sleeps before re-checking peers and the
 /// watchdog. The sleep escalates from this floor by doubling up to
@@ -42,7 +40,7 @@ pub const DEFAULT_DRAIN_BATCH: usize = 64;
 /// Under any policy other than `Off`, [`Node::send`] appends the logical
 /// message to a per-destination buffer instead of injecting a wire
 /// envelope. A buffered batch is charged one `msg_latency`, one
-/// [`HEADER_BYTES`] header and one `send_overhead` for the whole wire
+/// [`Node::header_bytes`] header and one `send_overhead` for the whole wire
 /// envelope, plus [`CostModel::pack_cost`] per sub-message — the
 /// amortization that makes fine-grained protocol fan-out cheap.
 ///
@@ -115,25 +113,6 @@ impl Default for NodeSetup {
     }
 }
 
-/// What actually travels on a channel: either a plain envelope or a
-/// coalesced batch of logical messages bound for the same destination.
-/// The batch is the *wire* unit — it pays latency, header and overheads
-/// once; its parts are re-expanded into individual [`Envelope`]s on the
-/// receiving side so handlers never see batching.
-pub(crate) enum Wire<M> {
-    Single(Envelope<M>),
-    Batch {
-        src: usize,
-        send_time: u64,
-        /// Summed payload bytes of all parts plus one [`HEADER_BYTES`].
-        wire_bytes: usize,
-        /// `(msg, payload_bytes)` in send order.
-        parts: Vec<(M, usize)>,
-        /// Sender's vector clock at flush, when checking is enabled.
-        vc: Option<Arc<[u64]>>,
-    },
-}
-
 /// An inbox entry: an envelope plus its precomputed arrival time and
 /// receive charge. Arrival is a pure function of the *wire* envelope
 /// (send time + flight time of the wire bytes), computed once when the
@@ -149,61 +128,6 @@ struct Inbound<M> {
     /// envelope itself (a single, or a batch's first part): pop emits one
     /// Recv trace event so flow arrows stay one-per-wire-message.
     wire: Option<(u32, u32)>,
-}
-
-/// Diagnostics for the first node whose thread died by panic (the rank
-/// itself travels in [`RouteTable::failed`]): the extracted panic message,
-/// published once through a lock-free cell so every peer's idle poll can
-/// read it without a machine-wide mutex.
-pub(crate) struct NodeFailure {
-    pub msg: String,
-}
-
-/// The machine's shared routing state: one `Arc` per node instead of a
-/// separate clone of the sender table, the failure flag and the scheduler
-/// handle. The sender table is built once and shared read-only by all
-/// nodes, so constructing an `n`-node machine moves `n` `Arc` clones, not
-/// `n²` senders.
-pub(crate) struct RouteTable<M> {
-    /// One channel sender per destination rank, indexed by rank.
-    pub txs: Vec<Sender<Wire<M>>>,
-    /// Rank of the first node whose thread died by panic, or -1. The
-    /// single-word fast path every idle poll checks.
-    pub failed: AtomicIsize,
-    /// Rich diagnostics for that failure (rank + panic message), read
-    /// lock-free on the poll path only after `failed` trips.
-    failure: LfCell<Option<NodeFailure>>,
-    /// The execution-slot gate under [`crate::ExecBackend::Multiplexed`];
-    /// `None` under the thread-per-node backend.
-    pub sched: Option<Arc<Scheduler>>,
-}
-
-impl<M> RouteTable<M> {
-    pub(crate) fn new(txs: Vec<Sender<Wire<M>>>, sched: Option<Arc<Scheduler>>) -> Self {
-        RouteTable { txs, failed: AtomicIsize::new(-1), failure: LfCell::new(None), sched }
-    }
-
-    /// Record the first panicking rank (first writer wins) together with
-    /// its panic message for peer diagnostics.
-    pub(crate) fn record_failure(&self, rank: usize, msg: String) {
-        if self
-            .failed
-            .compare_exchange(-1, rank as isize, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-        {
-            self.failure.store(Some(NodeFailure { msg }));
-        }
-    }
-
-    /// The first recorded failure's panic message, as a `: msg` suffix for
-    /// peer-death panics (empty if the message hasn't been published yet —
-    /// `failed` trips before the cell store lands).
-    fn failure_detail(&self) -> String {
-        match self.failure.load().as_ref() {
-            Some(f) if !f.msg.is_empty() => format!(": {}", f.msg),
-            _ => String::new(),
-        }
-    }
 }
 
 /// Per-destination coalescing buffers that scale to thousands of ranks: a
@@ -279,8 +203,14 @@ impl<M> OutBufs<M> {
 pub struct Node<M> {
     rank: usize,
     nprocs: usize,
-    rx: Receiver<Wire<M>>,
-    route: Arc<RouteTable<M>>,
+    /// The wire substrate this node sends and receives through. Dynamic
+    /// dispatch keeps the backend a runtime choice without a generics
+    /// ripple through the protocol and application layers; the per-wire
+    /// header charge is cached in `header_bytes` so the hot send path
+    /// pays no virtual call for accounting.
+    transport: Rc<dyn Transport<M>>,
+    /// Cached [`Transport::header_bytes`].
+    header_bytes: usize,
     cost: Arc<CostModel>,
     clock: Cell<u64>,
     logical_sent: Cell<u64>,
@@ -325,18 +255,18 @@ impl<M: MsgSize + Send> Node<M> {
     pub(crate) fn new(
         rank: usize,
         nprocs: usize,
-        rx: Receiver<Wire<M>>,
-        route: Arc<RouteTable<M>>,
+        transport: Rc<dyn Transport<M>>,
         cost: Arc<CostModel>,
         slot: Option<Rc<SlotHandle>>,
         setup: &NodeSetup,
     ) -> Self {
         assert!(setup.drain_batch >= 1, "drain batch must be at least 1");
+        let header_bytes = transport.header_bytes();
         Node {
             rank,
             nprocs,
-            rx,
-            route,
+            transport,
+            header_bytes,
             cost,
             clock: Cell::new(0),
             logical_sent: Cell::new(0),
@@ -372,6 +302,13 @@ impl<M: MsgSize + Send> Node<M> {
     /// The cost model in effect.
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Fixed per-wire-envelope header charge of the transport this node
+    /// runs on ([`Transport::header_bytes`]): the simulated CM-5 header
+    /// in-process, the measured framing overhead on a real backend.
+    pub fn header_bytes(&self) -> usize {
+        self.header_bytes
     }
 
     /// Current virtual clock in nanoseconds.
@@ -466,7 +403,7 @@ impl<M: MsgSize + Send> Node<M> {
         match self.coalesce.get() {
             CoalescePolicy::Off => {
                 self.charge(self.cost.send_overhead);
-                let bytes = msg.size_bytes() + HEADER_BYTES;
+                let bytes = msg.size_bytes() + self.header_bytes;
                 self.logical_sent.set(self.logical_sent.get() + 1);
                 self.wire_sent.set(self.wire_sent.get() + 1);
                 self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
@@ -494,11 +431,7 @@ impl<M: MsgSize + Send> Node<M> {
                     vc: self.vc_stamp(),
                     msg,
                 };
-                // A send can only fail if the destination thread already
-                // exited, which means the SPMD program violated its
-                // quiescence contract; losing the message is the faithful
-                // outcome (the wire goes dead).
-                let _ = self.route.txs[dst].send(Wire::Single(env));
+                self.transport.send_wire(dst, Wire::Single(env));
             }
             policy => {
                 self.charge(self.cost.pack_cost);
@@ -508,14 +441,14 @@ impl<M: MsgSize + Send> Node<M> {
                 // deterministic byte counts regardless of how messages
                 // end up grouped on the wire.
                 self.logical_sent.set(self.logical_sent.get() + 1);
-                self.bytes_sent.set(self.bytes_sent.get() + (payload + HEADER_BYTES) as u64);
+                self.bytes_sent.set(self.bytes_sent.get() + (payload + self.header_bytes) as u64);
                 if self.sink.enabled() {
                     self.sink.emit(
                         self.clock.get(),
                         EventKind::Pack {
                             dst: dst as u16,
                             tag: msg.tag(),
-                            bytes: (payload + HEADER_BYTES) as u32,
+                            bytes: (payload + self.header_bytes) as u32,
                         },
                     );
                 }
@@ -571,7 +504,7 @@ impl<M: MsgSize + Send> Node<M> {
         }
         self.pending.set(self.pending.get() - parts.len());
         self.charge(self.cost.send_overhead);
-        let wire_bytes = parts.iter().map(|&(_, b)| b).sum::<usize>() + HEADER_BYTES;
+        let wire_bytes = parts.iter().map(|&(_, b)| b).sum::<usize>() + self.header_bytes;
         self.wire_sent.set(self.wire_sent.get() + 1);
         self.wire_bytes_sent.set(self.wire_bytes_sent.get() + wire_bytes as u64);
         if self.sink.enabled() {
@@ -592,7 +525,7 @@ impl<M: MsgSize + Send> Node<M> {
             parts,
             vc: self.vc_stamp(),
         };
-        let _ = self.route.txs[dst].send(wire);
+        self.transport.send_wire(dst, wire);
     }
 
     /// Expand one wire message into inbox entries. Arrival is computed
@@ -642,10 +575,10 @@ impl<M: MsgSize + Send> Node<M> {
     fn drain_burst(&self, inbox: &mut VecDeque<Inbound<M>>) {
         let limit = if self.det_seed.is_some() { usize::MAX } else { self.drain_batch.get() };
         while inbox.len() < limit {
-            match self.rx.try_recv() {
+            match self.transport.try_recv_wire() {
                 Ok(w) => self.enqueue_wire(w, inbox),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => self.peer_exited("channel disconnected"),
+                Err(TryWireError::Empty) => break,
+                Err(TryWireError::Dead) => self.peer_exited("transport disconnected"),
             }
         }
     }
@@ -747,11 +680,11 @@ impl<M: MsgSize + Send> Node<M> {
         let waited = match &self.slot {
             Some(slot) => {
                 slot.release();
-                let r = self.rx.recv_timeout(d);
+                let r = self.transport.recv_wire_timeout(d);
                 slot.acquire();
                 r
             }
-            None => self.rx.recv_timeout(d),
+            None => self.transport.recv_wire_timeout(d),
         };
         match waited {
             Ok(w) => {
@@ -767,10 +700,8 @@ impl<M: MsgSize + Send> Node<M> {
                 self.absorb(&inb);
                 Some(inb.env)
             }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                self.peer_exited("channel disconnected")
-            }
+            Err(WaitWireError::Timeout) => None,
+            Err(WaitWireError::Dead) => self.peer_exited("transport disconnected"),
         }
     }
 
@@ -797,31 +728,43 @@ impl<M: MsgSize + Send> Node<M> {
         }
     }
 
+    /// The first recorded failure's panic message, as a `: msg` suffix for
+    /// peer-death panics (empty if the message hasn't been published yet —
+    /// the failure flag trips before the detail store lands).
+    fn failure_suffix(&self) -> String {
+        let msg = self.transport.failure_detail();
+        if msg.is_empty() {
+            String::new()
+        } else {
+            format!(": {msg}")
+        }
+    }
+
     /// Diagnose a dead peer and panic immediately instead of letting the
     /// caller stall into the watchdog.
     fn peer_exited(&self, what: &str) -> ! {
-        let culprit = self.route.failed.load(Ordering::SeqCst);
+        let culprit = self.transport.failed_rank();
         if culprit >= 0 {
             panic!(
                 "node {}: peer exited (node {culprit} died{}) while: {what}",
                 self.rank,
-                self.route.failure_detail()
+                self.failure_suffix()
             );
         }
         panic!("node {}: peer exited while: {what}", self.rank);
     }
 
-    /// Panic if some peer's thread has died by panic: a message this node
+    /// Panic if some peer's node has died by panic: a message this node
     /// is waiting on may never arrive, so failing fast with the culprit's
-    /// rank (and its panic message, read lock-free off the routing table)
+    /// rank (and its panic message, read lock-free off the transport)
     /// beats a silent multi-second watchdog stall.
     fn check_peers(&self, what: &str) {
-        let culprit = self.route.failed.load(Ordering::SeqCst);
+        let culprit = self.transport.failed_rank();
         if culprit >= 0 && culprit as usize != self.rank {
             panic!(
                 "node {}: peer exited (node {culprit} died{}) while waiting for: {what}",
                 self.rank,
-                self.route.failure_detail()
+                self.failure_suffix()
             );
         }
     }
@@ -967,6 +910,7 @@ fn det_mix(seed: u64, src: u64, arrival: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::envelope::HEADER_BYTES;
     use crate::spmd::Spmd;
 
     #[test]

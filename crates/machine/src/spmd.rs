@@ -1,26 +1,37 @@
 //! SPMD launcher: run one closure on every simulated processor.
 //!
 //! Machines are configured through [`Spmd::builder`], which gathers every
-//! knob — processor count, cost model, watchdog, drain batch, tracing —
-//! into a [`MachineBuilder`] instead of the former scattered per-node
-//! mutators.
+//! knob — processor count, cost model, watchdog, drain batch, tracing,
+//! transport — into a [`MachineBuilder`] instead of the former scattered
+//! per-node mutators.
+//!
+//! Two launch shapes exist:
+//!
+//! * [`MachineBuilder::run`] — the whole machine in this process, one OS
+//!   thread per rank, on either transport backend ([`TransportKind`]).
+//! * [`MachineBuilder::spawn_rank`] — exactly one rank in this process,
+//!   over the socket transport; the other ranks are other OS processes
+//!   meeting at the configured rendezvous address.
 
+use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
 use std::rc::Rc;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ace_trace::{MachineTrace, NodeTrace, TraceConfig};
-use crossbeam::channel::unbounded;
 
 use crate::cost::CostModel;
 use crate::envelope::MsgSize;
 use crate::node::{
-    CheckMode, CoalescePolicy, Node, NodeSetup, RouteTable, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG,
+    CheckMode, CoalescePolicy, Node, NodeSetup, DEFAULT_DRAIN_BATCH, DEFAULT_WATCHDOG,
 };
 use crate::sched::{default_workers, ExecBackend, Scheduler, SlotHandle, MUX_STACK_BYTES};
 use crate::stats::{MachineStats, NodeStats};
+use crate::transport::{
+    ConfigError, FailBoard, InProcTransport, SockAddr, SocketCfg, SocketTransport, Transport,
+    TransportKind, WireCodec, SOCKET_MAX_RANKS,
+};
 use crate::MAX_NODES;
 
 /// Outcome of an SPMD run: per-node results, counters, and both clocks.
@@ -38,19 +49,38 @@ pub struct SpmdResult<R> {
     pub trace: Option<MachineTrace>,
 }
 
+/// Outcome of a single-rank launch ([`MachineBuilder::spawn_rank`]): this
+/// process's slice of a multi-process machine.
+#[derive(Debug)]
+pub struct RankRun<R> {
+    /// The rank this process ran.
+    pub rank: usize,
+    /// Total ranks in the machine.
+    pub nprocs: usize,
+    /// The closure's return value.
+    pub result: R,
+    /// This rank's communication counters.
+    pub stats: NodeStats,
+    /// Real elapsed time, including the bootstrap handshake.
+    pub wall: Duration,
+    /// This rank's event trace, when the builder enabled tracing.
+    pub trace: Option<MachineTrace>,
+}
+
 /// The simulated machine. Entry point for configuring and launching runs:
 /// `Spmd::builder().nprocs(8).cost(CostModel::cm5()).run(f)`.
 pub struct Spmd;
 
 impl Spmd {
     /// Start configuring a machine. Defaults: 1 processor, CM-5 cost
-    /// model, tracing off, default watchdog and drain batch.
+    /// model, in-process transport, tracing off, default watchdog and
+    /// drain batch.
     pub fn builder() -> MachineBuilder {
         MachineBuilder::new()
     }
 }
 
-/// Configuration for a simulated machine, built via [`Spmd::builder`].
+/// Configuration for a machine, built via [`Spmd::builder`].
 #[derive(Debug, Clone)]
 pub struct MachineBuilder {
     nprocs: usize,
@@ -63,12 +93,28 @@ pub struct MachineBuilder {
     det_seed: Option<u64>,
     backend: ExecBackend,
     workers: Option<usize>,
+    transport: TransportKind,
 }
 
 impl Default for MachineBuilder {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Per-rank transport seed moved into a node's thread; the endpoint
+/// itself is constructed on that thread.
+enum NodeSeed<M> {
+    InProc(InProcTransport<M>),
+    Socket(SocketCfg),
+}
+
+/// Extract a panic payload's message for failure propagation.
+fn panic_message(e: &(dyn std::any::Any + Send)) -> &str {
+    e.downcast_ref::<String>()
+        .map(|s| s.as_str())
+        .or_else(|| e.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
 }
 
 impl MachineBuilder {
@@ -85,6 +131,7 @@ impl MachineBuilder {
             det_seed: None,
             backend: ExecBackend::default(),
             workers: None,
+            transport: TransportKind::InProc,
         }
     }
 
@@ -140,6 +187,7 @@ impl MachineBuilder {
     /// pop in `(arrival, seeded hash)` order instead of wall-clock arrival
     /// order, so a run that reported a violation can be replayed. Per-pair
     /// FIFO delivery is preserved. Best-effort: see `Node::pop_inbox`.
+    /// Incompatible with the socket transport ([`ConfigError`]).
     pub fn deterministic(mut self, seed: u64) -> Self {
         self.det_seed = Some(seed);
         self
@@ -163,6 +211,47 @@ impl MachineBuilder {
         self
     }
 
+    /// Which wire substrate the machine runs on (see [`TransportKind`]);
+    /// in-process channels by default. Incompatible combinations are
+    /// rejected eagerly by [`MachineBuilder::validate`] rather than at
+    /// some blocking point deep in a run.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
+    /// Check the configuration for incompatible knob combinations. Called
+    /// by every launch entry point; exposed so callers can surface a
+    /// typed error instead of a panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if matches!(self.transport, TransportKind::Socket(_)) {
+            if self.det_seed.is_some() {
+                return Err(ConfigError::SocketDeterministic);
+            }
+            if matches!(self.backend, ExecBackend::Multiplexed) {
+                return Err(ConfigError::SocketMultiplexed);
+            }
+            if self.nprocs > SOCKET_MAX_RANKS {
+                return Err(ConfigError::SocketRanks {
+                    nprocs: self.nprocs,
+                    max: SOCKET_MAX_RANKS,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn node_setup(&self) -> NodeSetup {
+        NodeSetup {
+            watchdog: self.watchdog,
+            drain_batch: self.drain_batch,
+            trace: self.trace.clone(),
+            coalesce: self.coalesce,
+            check: self.check,
+            det_seed: self.det_seed,
+        }
+    }
+
     /// Launch `nprocs` simulated processors, each running `f` with its own
     /// [`Node`], in the single-program-multiple-data style of the paper
     /// ("a single user thread per processor (SPMD)", §3.1).
@@ -174,13 +263,39 @@ impl MachineBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `nprocs` is zero or exceeds [`MAX_NODES`], or if any
-    /// node's closure panics. When several nodes die (one crashes and its
-    /// blocked peers then fail with "peer exited"), the panic propagated is
-    /// the *first* thread that died — the root cause, not a symptom.
+    /// Panics if `nprocs` is zero or exceeds [`MAX_NODES`], if the
+    /// configuration is invalid ([`MachineBuilder::try_run`] returns the
+    /// typed error instead), or if any node's closure panics. When several
+    /// nodes die (one crashes and its blocked peers then fail with "peer
+    /// exited"), the panic propagated is the *first* node that died — the
+    /// root cause, not a symptom.
     pub fn run<M, R, F>(&self, f: F) -> SpmdResult<R>
     where
-        M: MsgSize + Send,
+        M: MsgSize + WireCodec + Send + 'static,
+        R: Send,
+        F: Fn(&Node<M>) -> R + Sync,
+    {
+        match self.try_run(f) {
+            Ok(r) => r,
+            Err(e) => panic!("invalid machine configuration: {e}"),
+        }
+    }
+
+    /// [`MachineBuilder::run`] with eager configuration validation as a
+    /// typed error instead of a panic.
+    pub fn try_run<M, R, F>(&self, f: F) -> Result<SpmdResult<R>, ConfigError>
+    where
+        M: MsgSize + WireCodec + Send + 'static,
+        R: Send,
+        F: Fn(&Node<M>) -> R + Sync,
+    {
+        self.validate()?;
+        Ok(self.run_inner(f))
+    }
+
+    fn run_inner<M, R, F>(&self, f: F) -> SpmdResult<R>
+    where
+        M: MsgSize + WireCodec + Send + 'static,
         R: Send,
         F: Fn(&Node<M>) -> R + Sync,
     {
@@ -189,30 +304,28 @@ impl MachineBuilder {
         assert!(nprocs <= MAX_NODES, "at most {MAX_NODES} nodes supported");
 
         let cost = Arc::new(self.cost.clone());
-        let setup = NodeSetup {
-            watchdog: self.watchdog,
-            drain_batch: self.drain_batch,
-            trace: self.trace.clone(),
-            coalesce: self.coalesce,
-            check: self.check,
-            det_seed: self.det_seed,
+        let setup = self.node_setup();
+        let board = Arc::new(FailBoard::new());
+        // One failure board and (in-process) one shared sender table:
+        // every node clones an `Arc`, so wiring an n-node machine is
+        // O(n), not n copies of n senders.
+        let seeds: Vec<NodeSeed<M>> = match &self.transport {
+            TransportKind::InProc => {
+                InProcTransport::mesh(nprocs, &board).into_iter().map(NodeSeed::InProc).collect()
+            }
+            TransportKind::Socket(cfg) => {
+                // Resolve `Auto` once so every rank of this loopback run
+                // meets at the same generated rendezvous path.
+                let cfg = cfg.resolved();
+                (0..nprocs).map(|_| NodeSeed::Socket(cfg.clone())).collect()
+            }
         };
-        let mut txs = Vec::with_capacity(nprocs);
-        let mut rxs = Vec::with_capacity(nprocs);
-        for _ in 0..nprocs {
-            let (tx, rx) = unbounded();
-            txs.push(tx);
-            rxs.push(rx);
-        }
         let sched = match self.backend {
             ExecBackend::Threads => None,
             ExecBackend::Multiplexed => {
                 Some(Arc::new(Scheduler::new(self.workers.unwrap_or_else(default_workers))))
             }
         };
-        // One shared routing table: every node clones one `Arc`, so wiring
-        // an n-node machine is O(n), not n copies of n senders.
-        let route = Arc::new(RouteTable::new(txs, sched));
 
         let start = Instant::now();
         type Outcome<R> = (R, NodeStats, Option<NodeTrace>);
@@ -223,13 +336,14 @@ impl MachineBuilder {
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nprocs);
-            for (rank, rx) in rxs.into_iter().enumerate() {
-                let route = Arc::clone(&route);
+            for (rank, seed) in seeds.into_iter().enumerate() {
+                let board = Arc::clone(&board);
+                let sched = sched.clone();
                 let cost = Arc::clone(&cost);
                 let setup = &setup;
                 let f = &f;
                 let mut builder = std::thread::Builder::new().name(format!("node-{rank}"));
-                if route.sched.is_some() {
+                if sched.is_some() {
                     // Multiplexed machines run thousands of mostly-parked
                     // threads; shrink their stacks from the platform default
                     // (often 8 MiB) so the address-space bill stays sane.
@@ -242,24 +356,43 @@ impl MachineBuilder {
                         // `recv_timeout` (the yield points). The final
                         // release is idempotent, so it is safe no matter
                         // where a panic unwound from.
-                        let slot =
-                            route.sched.as_ref().map(|s| Rc::new(SlotHandle::new(Arc::clone(s))));
+                        let slot = sched.as_ref().map(|s| Rc::new(SlotHandle::new(Arc::clone(s))));
                         if let Some(s) = &slot {
                             s.acquire();
                         }
+                        // The endpoint is parked here so the failure path
+                        // below can broadcast through it even though it is
+                        // constructed inside the catch_unwind closure.
+                        let ep: RefCell<Option<Rc<dyn Transport<M>>>> = RefCell::new(None);
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let transport: Rc<dyn Transport<M>> = match seed {
+                                NodeSeed::InProc(t) => Rc::new(t),
+                                NodeSeed::Socket(cfg) => Rc::new(
+                                    SocketTransport::establish(
+                                        rank,
+                                        nprocs,
+                                        &cfg,
+                                        Arc::clone(&board),
+                                    )
+                                    .unwrap_or_else(|e| {
+                                        panic!("socket transport bootstrap failed: {e}")
+                                    }),
+                                ),
+                            };
+                            *ep.borrow_mut() = Some(Rc::clone(&transport));
                             let node = Node::new(
                                 rank,
                                 nprocs,
-                                rx,
-                                Arc::clone(&route),
+                                Rc::clone(&transport),
                                 cost,
                                 slot.clone(),
                                 setup,
                             );
                             let r = f(&node);
                             let stats = node.stats();
-                            (r, stats, node.take_trace())
+                            let trace = node.take_trace();
+                            transport.shutdown();
+                            (r, stats, trace)
                         }));
                         if let Some(s) = &slot {
                             s.release();
@@ -271,12 +404,11 @@ impl MachineBuilder {
                                 // so blocked peers fail fast naming the root
                                 // cause, then let the panic continue into
                                 // the join below.
-                                let msg = e
-                                    .downcast_ref::<String>()
-                                    .map(|s| s.as_str())
-                                    .or_else(|| e.downcast_ref::<&str>().copied())
-                                    .unwrap_or("<non-string panic>");
-                                route.record_failure(rank, msg.to_string());
+                                let msg = panic_message(e.as_ref());
+                                board.record(rank, msg.to_string());
+                                if let Some(t) = ep.borrow().as_ref() {
+                                    t.signal_failure(rank, msg);
+                                }
                                 std::panic::resume_unwind(e);
                             }
                         }
@@ -288,18 +420,11 @@ impl MachineBuilder {
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(out) => outcomes[rank] = Some(out),
-                    Err(e) => {
-                        let msg = e
-                            .downcast_ref::<String>()
-                            .map(|s| s.as_str())
-                            .or_else(|| e.downcast_ref::<&str>().copied())
-                            .unwrap_or("<non-string panic>");
-                        failures.push((rank, msg.to_string()));
-                    }
+                    Err(e) => failures.push((rank, panic_message(e.as_ref()).to_string())),
                 }
             }
             if !failures.is_empty() {
-                let culprit = route.failed.load(Ordering::SeqCst);
+                let culprit = board.failed_rank();
                 let (rank, msg) =
                     failures.iter().find(|(r, _)| *r as isize == culprit).unwrap_or(&failures[0]);
                 panic!("node {rank} panicked: {msg}");
@@ -321,6 +446,73 @@ impl MachineBuilder {
         let trace = self.trace.enabled.then_some(MachineTrace { nodes: node_traces });
         let sim_ns = stats.sim_time();
         SpmdResult { results, stats, sim_ns, wall, trace }
+    }
+
+    /// Launch exactly one rank of a **multi-process** socket machine in
+    /// this process, blocking until its closure returns. The other
+    /// `nprocs - 1` ranks are expected to be peer OS processes calling
+    /// `spawn_rank` with the same machine size and rendezvous address
+    /// (rank 0 hosts the rendezvous).
+    ///
+    /// Requires `.transport(TransportKind::Socket(..))` with a concrete
+    /// rendezvous address — every incompatibility is reported eagerly as
+    /// a [`ConfigError`] before any socket exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bootstrap handshake fails or times out, or if `f`
+    /// panics (after broadcasting the failure to peer processes, so their
+    /// blocked ranks fail fast naming this rank).
+    pub fn spawn_rank<M, R, F>(&self, rank: usize, f: F) -> Result<RankRun<R>, ConfigError>
+    where
+        M: MsgSize + WireCodec + Send + 'static,
+        F: FnOnce(&Node<M>) -> R,
+    {
+        self.validate()?;
+        let cfg = match &self.transport {
+            TransportKind::Socket(c) => c.clone(),
+            TransportKind::InProc => return Err(ConfigError::SpawnRankNeedsSocket),
+        };
+        if matches!(cfg.rendezvous, SockAddr::Auto) {
+            return Err(ConfigError::RendezvousUnspecified);
+        }
+        if rank >= self.nprocs {
+            return Err(ConfigError::RankOutOfRange { rank, nprocs: self.nprocs });
+        }
+        let start = Instant::now();
+        let board = Arc::new(FailBoard::new());
+        let setup = self.node_setup();
+        let cost = Arc::new(self.cost.clone());
+        let transport: Rc<dyn Transport<M>> = Rc::new(
+            SocketTransport::establish(rank, self.nprocs, &cfg, Arc::clone(&board))
+                .unwrap_or_else(|e| panic!("rank {rank}: socket transport bootstrap failed: {e}")),
+        );
+        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let node = Node::new(rank, self.nprocs, Rc::clone(&transport), cost, None, &setup);
+            let r = f(&node);
+            let stats = node.stats();
+            let trace = node.take_trace();
+            (r, stats, trace)
+        }));
+        match out {
+            Ok((result, stats, trace)) => {
+                transport.shutdown();
+                Ok(RankRun {
+                    rank,
+                    nprocs: self.nprocs,
+                    result,
+                    stats,
+                    wall: start.elapsed(),
+                    trace: trace.map(|t| MachineTrace { nodes: vec![t] }),
+                })
+            }
+            Err(e) => {
+                let msg = panic_message(e.as_ref()).to_string();
+                board.record(rank, msg.clone());
+                transport.signal_failure(rank, &msg);
+                std::panic::resume_unwind(e);
+            }
+        }
     }
 }
 
@@ -559,5 +751,162 @@ mod tests {
         let check = ace_trace::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
         assert_eq!(check.flow_starts, 1);
         assert_eq!(check.flows_matched, 1);
+    }
+
+    // --- socket transport through the full builder/node stack ---
+
+    #[test]
+    fn socket_loopback_all_to_all() {
+        let n = 4usize;
+        let r = Spmd::builder()
+            .nprocs(n)
+            .cost(CostModel::cm5())
+            .transport(TransportKind::socket_loopback())
+            .run::<u64, _, _>(|node| {
+                for dst in 0..n {
+                    if dst != node.rank() {
+                        node.send(dst, node.rank() as u64 + 1);
+                    }
+                }
+                let acc = std::cell::Cell::new((0u64, 0usize));
+                node.poll_until(
+                    "ring receipts",
+                    |_, env| {
+                        let (sum, cnt) = acc.get();
+                        acc.set((sum + env.msg, cnt + 1));
+                    },
+                    || acc.get().1 == n - 1,
+                );
+                acc.get().0
+            });
+        let total: u64 = (1..=n as u64).sum();
+        for (rank, got) in r.results.iter().enumerate() {
+            assert_eq!(*got, total - (rank as u64 + 1));
+        }
+        // Logical counts match the in-process machine; byte accounting
+        // uses the socket framing header instead of the simulated one.
+        assert_eq!(r.stats.total_msgs(), (n * (n - 1)) as u64);
+        assert_eq!(
+            r.stats.nodes[0].bytes_sent,
+            (n - 1) as u64 * (8 + crate::transport::SOCKET_HEADER_BYTES as u64)
+        );
+    }
+
+    #[test]
+    fn socket_coalesced_batches_cross_the_wire() {
+        // Coalescing must flow through the socket framing unchanged:
+        // 5 logical messages, one wire envelope, delivered in order.
+        let r = Spmd::builder()
+            .nprocs(2)
+            .cost(CostModel::cm5())
+            .transport(TransportKind::socket_loopback())
+            .coalesce(CoalescePolicy::FlushOnWait)
+            .run::<u64, _, _>(|node| {
+                if node.rank() == 0 {
+                    for i in 0..5 {
+                        node.send(1, i + 1);
+                    }
+                    node.flush_coalesced();
+                    Vec::new()
+                } else {
+                    let seen = std::cell::RefCell::new(Vec::new());
+                    node.poll_until(
+                        "5 msgs",
+                        |_, env| seen.borrow_mut().push(env.msg),
+                        || seen.borrow().len() == 5,
+                    );
+                    seen.into_inner()
+                }
+            });
+        assert_eq!(r.results[1], vec![1, 2, 3, 4, 5]);
+        assert_eq!(r.stats.total_msgs(), 5);
+        assert_eq!(r.stats.total_wire_msgs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node 1 panicked: boom")]
+    fn socket_peer_death_reports_root_cause() {
+        // Same contract as in-process: a rank dying over sockets must be
+        // detected promptly by blocked peers via the Failed broadcast,
+        // and the propagated panic names the root cause.
+        let start = Instant::now();
+        let r = std::panic::catch_unwind(|| {
+            Spmd::builder()
+                .nprocs(2)
+                .cost(CostModel::free())
+                .transport(TransportKind::socket_loopback())
+                .run::<u64, _, _>(|node| {
+                    if node.rank() == 1 {
+                        panic!("boom");
+                    }
+                    node.poll_until("a message that never comes", |_, _| {}, || false);
+                })
+        });
+        assert!(r.is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "socket peer death took {:?} to detect",
+            start.elapsed()
+        );
+        std::panic::resume_unwind(r.unwrap_err());
+    }
+
+    // --- eager rejection of incompatible configurations (one per combo) ---
+
+    fn socket_builder() -> MachineBuilder {
+        Spmd::builder().nprocs(2).transport(TransportKind::socket_loopback())
+    }
+
+    #[test]
+    fn socket_plus_deterministic_rejected_eagerly() {
+        let b = socket_builder().deterministic(7);
+        assert_eq!(b.validate(), Err(ConfigError::SocketDeterministic));
+        assert_eq!(
+            b.try_run::<u64, _, _>(|_| ()).err(),
+            Some(ConfigError::SocketDeterministic),
+            "try_run must reject before spawning anything"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine configuration")]
+    fn socket_plus_deterministic_panics_in_run() {
+        socket_builder().deterministic(7).run::<u64, _, _>(|_| ());
+    }
+
+    #[test]
+    fn socket_plus_multiplexed_rejected_eagerly() {
+        let b = socket_builder().backend(ExecBackend::Multiplexed);
+        assert_eq!(b.validate(), Err(ConfigError::SocketMultiplexed));
+    }
+
+    #[test]
+    fn socket_beyond_rank_cap_rejected_eagerly() {
+        let b = socket_builder().nprocs(SOCKET_MAX_RANKS + 1);
+        assert_eq!(
+            b.validate(),
+            Err(ConfigError::SocketRanks { nprocs: SOCKET_MAX_RANKS + 1, max: SOCKET_MAX_RANKS })
+        );
+    }
+
+    #[test]
+    fn spawn_rank_requires_socket_transport() {
+        let err = Spmd::builder().nprocs(2).spawn_rank::<u64, _, _>(0, |_| ()).err();
+        assert_eq!(err, Some(ConfigError::SpawnRankNeedsSocket));
+    }
+
+    #[test]
+    fn spawn_rank_rejects_out_of_range_rank() {
+        let b = Spmd::builder()
+            .nprocs(2)
+            .transport(TransportKind::Socket(SocketCfg::unix("/tmp/ace-test-never-used.sock")));
+        let err = b.spawn_rank::<u64, _, _>(5, |_| ()).err();
+        assert_eq!(err, Some(ConfigError::RankOutOfRange { rank: 5, nprocs: 2 }));
+    }
+
+    #[test]
+    fn spawn_rank_rejects_auto_rendezvous() {
+        let err = socket_builder().spawn_rank::<u64, _, _>(0, |_| ()).err();
+        assert_eq!(err, Some(ConfigError::RendezvousUnspecified));
     }
 }
