@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use crate::dsm::{exchange_ids, Dsm};
 use crate::Variant;
 use ace_core::Pod;
-use ace_protocols::ProtoSpec;
+use ace_protocols::{AdaptiveSpec, ProtoSpec};
 
 /// Bodies per leaf cell before it splits.
 pub const LEAF_CAP: usize = 8;
@@ -302,6 +302,17 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
 
     if v == Variant::Custom {
         d.change_protocol(bodies_space, ProtoSpec::DynUpdate);
+    } else if v == Variant::Adaptive {
+        // Bodies are read by all and written by their owner every step —
+        // the update-family pattern — so the engine starts at dynamic
+        // update rather than paying the serial node-0 tree build of step
+        // one under invalidation (bodies profiles only aggregate at the
+        // three per-step barriers, and the build is the first and
+        // heaviest phase). The engine may still fall back to SC if the
+        // profiles say the pushes are wasted.
+        let spec = AdaptiveSpec::new(AdaptiveSpec::SC | AdaptiveSpec::DYN_UPDATE)
+            .starting_at(AdaptiveSpec::DYN_UPDATE);
+        d.change_protocol(bodies_space, ProtoSpec::Adaptive(spec));
     }
 
     for _ in 0..p.steps {

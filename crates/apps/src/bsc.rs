@@ -25,7 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::dsm::{exchange_ids, Dsm};
 use crate::Variant;
-use ace_protocols::ProtoSpec;
+use ace_protocols::{AdaptiveSpec, ProtoSpec};
 
 /// BSC workload parameters.
 #[derive(Debug, Clone)]
@@ -206,6 +206,12 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
 
     if v == Variant::Custom {
         d.change_protocol(blocks_space, ProtoSpec::HomeOwned);
+    } else if v == Variant::Adaptive {
+        // Blocks are written only by their owner, so the home-owned
+        // discipline is a legal candidate; the engine picks it when the
+        // read fan-out makes SC's invalidation upkeep the dearer option.
+        let spec = AdaptiveSpec::new(AdaptiveSpec::SC | AdaptiveSpec::HOME_OWNED);
+        d.change_protocol(blocks_space, ProtoSpec::Adaptive(spec));
     }
 
     // Right-looking fan-out factorization. Blocks are mapped around each

@@ -36,6 +36,10 @@ pub enum Variant {
     Sc,
     /// The application-specific protocols of §5.2.
     Custom,
+    /// The adaptive engine picks per-space protocols at runtime from an
+    /// app-chosen candidate set (pinned where semantics demand a fixed
+    /// protocol, e.g. TSP's fetch-and-add counter).
+    Adaptive,
 }
 
 impl Variant {
@@ -44,6 +48,7 @@ impl Variant {
         match self {
             Variant::Sc => "SC",
             Variant::Custom => "custom",
+            Variant::Adaptive => "adaptive",
         }
     }
 }

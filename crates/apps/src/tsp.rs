@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::dsm::Dsm;
 use crate::Variant;
-use ace_protocols::ProtoSpec;
+use ace_protocols::{AdaptiveSpec, ProtoSpec};
 
 /// TSP workload parameters.
 #[derive(Debug, Clone)]
@@ -181,6 +181,11 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
 
     if v == Variant::Custom {
         d.change_protocol(counter_space, ProtoSpec::FetchAdd(1));
+    } else if v == Variant::Adaptive {
+        // FetchAdd redefines `lock` itself, so the engine may not cross
+        // into or out of it freely: the counter space pins it instead.
+        let spec = AdaptiveSpec::pinned(AdaptiveSpec::FETCH_ADD);
+        d.change_protocol(counter_space, ProtoSpec::Adaptive(spec));
     }
 
     let total = njobs(n);

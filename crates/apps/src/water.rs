@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::dsm::{exchange_ids, Dsm};
 use crate::Variant;
-use ace_protocols::ProtoSpec;
+use ace_protocols::{AdaptiveSpec, ProtoSpec};
 
 /// Fields of a molecule region, as f64 lanes.
 const POS: usize = 0; // [0..3)
@@ -136,6 +136,15 @@ pub fn run<D: Dsm>(d: &D, p: &Params, v: Variant) -> f64 {
     if v == Variant::Custom {
         // Intra phases run under the null protocol from here on.
         d.change_protocol(mols_space, ProtoSpec::Null);
+    } else if v == Variant::Adaptive {
+        // The programmer knows molecules see relaxed phase-alternating
+        // sharing (that is why Pipelined is a candidate at all), so the
+        // engine starts there and keeps it for the whole run unless the
+        // profiles disagree: zero flushes at steady state, against the
+        // custom variant's two change_protocol flushes per step.
+        let spec = AdaptiveSpec::new(AdaptiveSpec::SC | AdaptiveSpec::PIPELINED)
+            .starting_at(AdaptiveSpec::PIPELINED);
+        d.change_protocol(mols_space, ProtoSpec::Adaptive(spec));
     }
 
     for _ in 0..p.steps {

@@ -1,0 +1,160 @@
+//! Wall-clock cost of the adaptive engine's three code paths, each against
+//! the static-protocol baseline it wraps:
+//!
+//! * **fast path** — a `start_read`/`end_read` pair through the engine's
+//!   delegation layer plus interval profiling, vs the same pair on a bare
+//!   `SeqInvalidate`. The target is small-constant overhead (~tens of ns
+//!   per pair): one `Rc` clone of the inner protocol and a handful of
+//!   `Cell` bumps.
+//! * **sampling** — a barrier with profile staging/aggregation enabled, vs
+//!   a bare SC barrier, amortized over the accesses between barriers. The
+//!   staging is one small `Vec` ride on the existing `BarArrive`, so the
+//!   per-access amortized cost should be low single-digit ns.
+//! * **switch** — a flush-point protocol switch (storm-mode engine
+//!   alternating between two candidates every barrier) vs the same
+//!   workload pinned to one candidate (flush only, no handover). The delta
+//!   is the full coherent-switch sequence: drain, machine barrier, state
+//!   reset, adopt, machine barrier.
+
+use ace_core::{run_ace, CostModel, RegionId};
+use ace_protocols::{AdaptiveEngine, AdaptiveSpec, SeqInvalidate};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+const PAIRS: usize = 20_000;
+const BARRIERS: usize = 500;
+
+fn read_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptpath");
+    g.sample_size(20);
+
+    // Delegation + profiling overhead per access pair.
+    g.bench_function(format!("sc_read_pair_x{PAIRS}"), |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::free(), |rt| {
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                let r: RegionId = rt.gmalloc::<u64>(s, 8);
+                rt.map(r);
+                let mut acc = 0u64;
+                for _ in 0..PAIRS {
+                    rt.start_read(r);
+                    acc = acc.wrapping_add(rt.with::<u64, _>(r, |d| d[0]));
+                    rt.end_read(r);
+                }
+                acc
+            })
+        })
+    });
+    g.bench_function(format!("adaptive_read_pair_x{PAIRS}"), |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::free(), |rt| {
+                let spec = AdaptiveSpec::new(AdaptiveSpec::SC | AdaptiveSpec::DYN_UPDATE);
+                let s = rt.new_space(Rc::new(AdaptiveEngine::new(spec)));
+                let r: RegionId = rt.gmalloc::<u64>(s, 8);
+                rt.map(r);
+                let mut acc = 0u64;
+                for _ in 0..PAIRS {
+                    rt.start_read(r);
+                    acc = acc.wrapping_add(rt.with::<u64, _>(r, |d| d[0]));
+                    rt.end_read(r);
+                }
+                acc
+            })
+        })
+    });
+    g.finish();
+}
+
+/// One barrier per `PER_BAR` accesses; the sc/adaptive delta divided by
+/// `BARRIERS * PER_BAR` is the amortized per-access sampling cost.
+fn barriers(c: &mut Criterion) {
+    const PER_BAR: usize = 8;
+    let mut g = c.benchmark_group("adaptpath");
+    g.sample_size(20);
+
+    let workload = |rt: &ace_core::AceRt, s, r: RegionId| {
+        let mut acc = 0u64;
+        for _ in 0..BARRIERS {
+            for _ in 0..PER_BAR {
+                rt.start_read(r);
+                acc = acc.wrapping_add(rt.with::<u64, _>(r, |d| d[0]));
+                rt.end_read(r);
+            }
+            rt.barrier(s);
+        }
+        acc
+    };
+
+    g.bench_function(format!("sc_barrier_x{BARRIERS}"), |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::free(), |rt| {
+                let s = rt.new_space(Rc::new(SeqInvalidate::new()));
+                let r: RegionId = rt.gmalloc::<u64>(s, 8);
+                rt.map(r);
+                workload(rt, s, r)
+            })
+        })
+    });
+    g.bench_function(format!("adaptive_sampling_barrier_x{BARRIERS}"), |b| {
+        b.iter(|| {
+            run_ace(1, CostModel::free(), |rt| {
+                // Two candidates so profiling runs, but a quiet workload:
+                // the activity floor keeps the engine from ever switching,
+                // isolating pure staging/aggregation cost.
+                let spec = AdaptiveSpec::new(AdaptiveSpec::SC | AdaptiveSpec::DYN_UPDATE);
+                let s = rt.new_space(Rc::new(AdaptiveEngine::new(spec)));
+                let r: RegionId = rt.gmalloc::<u64>(s, 8);
+                rt.map(r);
+                workload(rt, s, r)
+            })
+        })
+    });
+    g.finish();
+}
+
+/// Flush-point switch vs plain flush. Storm mode round-robins candidates
+/// every interval regardless of the cost model, so every barrier commits a
+/// full handover; the pinned run pays only the flush the barrier already
+/// implies.
+fn switches(c: &mut Criterion) {
+    const STEPS: usize = 50;
+    let mut g = c.benchmark_group("adaptpath");
+    g.sample_size(20);
+
+    let run = |spec: AdaptiveSpec| {
+        run_ace(2, CostModel::free(), move |rt| {
+            let s = rt.new_space(Rc::new(AdaptiveEngine::new(spec)));
+            let r: RegionId = rt.gmalloc::<u64>(s, 8);
+            rt.map(r);
+            let mut acc = 0u64;
+            for i in 0..STEPS {
+                if rt.rank() == 0 {
+                    rt.start_write(r);
+                    rt.with_mut::<u64, _>(r, |d| d[0] = i as u64);
+                    rt.end_write(r);
+                }
+                rt.barrier(s);
+                rt.start_read(r);
+                acc = acc.wrapping_add(rt.with::<u64, _>(r, |d| d[0]));
+                rt.end_read(r);
+                rt.barrier(s);
+            }
+            acc
+        })
+    };
+
+    g.bench_function(format!("pinned_flush_x{STEPS}"), |b| {
+        b.iter(|| run(AdaptiveSpec::pinned(AdaptiveSpec::SC)))
+    });
+    g.bench_function(format!("storm_switch_x{STEPS}"), |b| {
+        b.iter(|| {
+            run(AdaptiveSpec::new(AdaptiveSpec::SC | AdaptiveSpec::DYN_UPDATE)
+                .with_dwell(1)
+                .storming())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, read_pairs, barriers, switches);
+criterion_main!(benches);

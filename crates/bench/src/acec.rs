@@ -77,6 +77,7 @@ fn spmd_stats<T>(r: &ace_core::SpmdResult<T>) -> VariantStats {
         msgs: r.stats.total_msgs(),
         wire_msgs: r.stats.total_wire_msgs(),
         bytes: r.stats.total_bytes(),
+        switches: r.stats.total_switches(),
     }
 }
 

@@ -24,18 +24,30 @@ fn main() {
     let runs = arg_val(&args, "--runs").unwrap_or(3);
 
     println!("Figure 7a: Ace runtime vs CRL (SC protocol), {procs} procs, avg of {runs} runs");
-    println!("{:<12} {:>12} {:>12} {:>10}", "benchmark", "Ace (ms)", "CRL (ms)", "CRL/Ace");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>14}",
+        "benchmark", "Ace (ms)", "CRL (ms)", "CRL/Ace", "adaptive (ms)"
+    );
     let rows = fig7a(scale, procs, runs);
     for r in &rows {
-        println!("{:<12} {:>12.2} {:>12.2} {:>10.2}", r.app, r.ace_ms, r.crl_ms, r.ratio);
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>10.2} {:>14.2}",
+            r.app,
+            r.ace_ms,
+            r.crl_ms,
+            r.ratio,
+            r.adaptive.sim_ms()
+        );
     }
-    println!("\n(simulated time on the CM-5-flavoured cost model; >1 means Ace is faster)");
+    println!("\n(simulated time on the CM-5-flavoured cost model; >1 means Ace is faster;");
+    println!(" the adaptive column is Ace under the runtime protocol-selection engine)");
 
     if let Some(path) = json::out_path(&args, "BENCH_fig7a.json") {
         let mut out = Vec::new();
         for r in &rows {
             out.push(JsonRow::new("fig7a", &r.app, "ace", procs, r.ace));
             out.push(JsonRow::new("fig7a", &r.app, "crl", procs, r.crl));
+            out.push(JsonRow::new("fig7a", &r.app, "adaptive", procs, r.adaptive));
         }
         json::write(&path, &out).expect("write --json file");
         println!("wrote {} rows to {}", out.len(), path.display());

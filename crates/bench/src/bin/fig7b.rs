@@ -36,20 +36,34 @@ fn main() {
         "Figure 7b: SC vs application-specific protocols in Ace, {procs} procs, avg of {runs} runs"
     );
     println!(
-        "{:<12} {:>12} {:>14} {:>10} {:>22}",
-        "benchmark", "SC (ms)", "custom (ms)", "speedup", "custom wire/logical"
+        "{:<12} {:>12} {:>14} {:>10} {:>14} {:>9} {:>22}",
+        "benchmark",
+        "SC (ms)",
+        "custom (ms)",
+        "speedup",
+        "adaptive (ms)",
+        "switches",
+        "custom wire/logical"
     );
     let rows = fig7b(scale, procs, runs);
     let avg: f64 = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
     for r in &rows {
         println!(
-            "{:<12} {:>12.2} {:>14.2} {:>10.2} {:>12}/{}",
-            r.app, r.sc_ms, r.custom_ms, r.speedup, r.custom.wire_msgs, r.custom.msgs
+            "{:<12} {:>12.2} {:>14.2} {:>10.2} {:>14.2} {:>9} {:>12}/{}",
+            r.app,
+            r.sc_ms,
+            r.custom_ms,
+            r.speedup,
+            r.adaptive_ms,
+            r.adaptive.switches,
+            r.custom.wire_msgs,
+            r.custom.msgs
         );
     }
     println!("\naverage speedup: {avg:.2} (paper: range 1.02-5, average ~2)");
     println!("custom protocols: barnes=dynamic update, bsc=home-owned, em3d=static update,");
     println!("                  tsp=fetch-and-add counter, water=null+pipelined phases");
+    println!("adaptive: the engine picks per-space protocols at flush points at runtime");
     println!("*-nocoal configs rerun with the coalescing transport disabled");
 
     if let Some(path) = json::out_path(&args, "BENCH_fig7b.json") {
@@ -59,6 +73,7 @@ fn main() {
             out.push(JsonRow::new("fig7b", &r.app, "custom", procs, r.custom));
             out.push(JsonRow::new("fig7b", &r.app, "sc-nocoal", procs, r.sc_nocoal));
             out.push(JsonRow::new("fig7b", &r.app, "custom-nocoal", procs, r.custom_nocoal));
+            out.push(JsonRow::new("fig7b", &r.app, "adaptive", procs, r.adaptive));
         }
         json::write(&path, &out).expect("write --json file");
         println!("wrote {} rows to {}", out.len(), path.display());

@@ -89,6 +89,7 @@ fn measure(app: &str, procs: usize, v: Variant, backend: ExecBackend, runs: usiz
         out.msgs = r.msgs;
         out.wire_msgs = r.wire_msgs;
         out.bytes = r.bytes;
+        out.switches = r.counters.switches;
         out.wall_ns = out.wall_ns.min(r.wall.as_nanos() as u64);
     }
     out
@@ -145,22 +146,33 @@ fn main() {
             p *= 2;
         }
         println!(
-            "{app}\n{:>6} {:>12} {:>14} {:>9} {:>12} {:>12}",
-            "procs", "SC (ms)", "custom (ms)", "speedup", "SC wall", "custom wall"
+            "{app}\n{:>6} {:>12} {:>14} {:>9} {:>14} {:>9} {:>12} {:>12}",
+            "procs",
+            "SC (ms)",
+            "custom (ms)",
+            "speedup",
+            "adaptive (ms)",
+            "switches",
+            "SC wall",
+            "custom wall"
         );
         for &procs in &counts {
             let sc = measure(app, procs, Variant::Sc, backend, runs);
             let cu = measure(app, procs, Variant::Custom, backend, runs);
+            let ad = measure(app, procs, Variant::Adaptive, backend, runs);
             println!(
-                "{procs:>6} {:>12.2} {:>14.2} {:>9.2} {:>10.1}ms {:>10.1}ms",
+                "{procs:>6} {:>12.2} {:>14.2} {:>9.2} {:>14.2} {:>9} {:>10.1}ms {:>10.1}ms",
                 sc.sim_ms(),
                 cu.sim_ms(),
                 sc.sim_ms() / cu.sim_ms(),
+                ad.sim_ms(),
+                ad.switches,
                 sc.wall_ns as f64 / 1e6,
                 cu.wall_ns as f64 / 1e6,
             );
             rows.push(JsonRow::new("scaling", app, "sc", procs, sc));
             rows.push(JsonRow::new("scaling", app, "custom", procs, cu));
+            rows.push(JsonRow::new("scaling", app, "adaptive", procs, ad));
         }
         println!();
     }

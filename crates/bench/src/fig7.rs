@@ -216,6 +216,9 @@ pub struct VariantStats {
     pub wire_msgs: u64,
     /// Total payload bytes across all nodes.
     pub bytes: u64,
+    /// Protocol switches committed across all nodes (`change_protocol`
+    /// handovers plus adaptive-engine flush-point switches).
+    pub switches: u64,
 }
 
 impl VariantStats {
@@ -233,6 +236,7 @@ fn averaged(mut run: impl FnMut() -> RunOutcome, runs: usize) -> VariantStats {
         out.msgs = r.msgs;
         out.wire_msgs = r.wire_msgs;
         out.bytes = r.bytes;
+        out.switches = r.counters.switches;
         out.wall_ns = out.wall_ns.min(r.wall.as_nanos() as u64);
     }
     out
@@ -253,6 +257,10 @@ pub struct Fig7aRow {
     pub ace: VariantStats,
     /// Full accounting for the CRL run.
     pub crl: VariantStats,
+    /// Full accounting for the Ace run under the adaptive engine (CRL has
+    /// no counterpart; the row shows what runtime protocol selection does
+    /// to the same-source comparison).
+    pub adaptive: VariantStats,
 }
 
 /// Compute Figure 7a.
@@ -261,6 +269,7 @@ pub fn fig7a(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7aRow> {
         .map(|app| {
             let ace = averaged(|| run_ace_app(app, scale, Variant::Sc, nprocs), runs);
             let crl = averaged(|| run_crl_app(app, scale, nprocs), runs);
+            let adaptive = averaged(|| run_ace_app(app, scale, Variant::Adaptive, nprocs), runs);
             Fig7aRow {
                 app: app.to_string(),
                 ace_ms: ace.sim_ms(),
@@ -268,6 +277,7 @@ pub fn fig7a(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7aRow> {
                 ratio: crl.sim_ms() / ace.sim_ms(),
                 ace,
                 crl,
+                adaptive,
             }
         })
         .collect()
@@ -293,6 +303,10 @@ pub struct Fig7bRow {
     pub sc_nocoal: VariantStats,
     /// Custom protocols with `set_coalescing(false)`.
     pub custom_nocoal: VariantStats,
+    /// Adaptive-engine simulated time, ms.
+    pub adaptive_ms: f64,
+    /// Full accounting for the adaptive run.
+    pub adaptive: VariantStats,
 }
 
 /// One row of the conformance-checker overhead table: a benchmark run
@@ -328,12 +342,14 @@ impl CheckRow {
     }
 }
 
-/// Measure conformance-checker overhead for the named apps, both protocol
-/// assignments each.
+/// Measure conformance-checker overhead for the named apps, all three
+/// protocol assignments each — adaptive included, so every engine switch
+/// sequence the benchmarks exercise is certified violation-free under
+/// `CheckMode::Fail`.
 pub fn check_overhead(apps: &[&str], scale: Scale, nprocs: usize, runs: usize) -> Vec<CheckRow> {
     let mut rows = Vec::new();
     for app in apps {
-        for v in [Variant::Sc, Variant::Custom] {
+        for v in [Variant::Sc, Variant::Custom, Variant::Adaptive] {
             let off = averaged(|| run_ace_app(app, scale, v, nprocs), runs);
             let violations = std::cell::Cell::new(0);
             let on = averaged(
@@ -366,6 +382,7 @@ pub fn fig7b(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7bRow> {
             };
             let sc = coal(Variant::Sc, true);
             let cu = coal(Variant::Custom, true);
+            let ad = coal(Variant::Adaptive, true);
             let sc_nocoal = coal(Variant::Sc, false);
             let custom_nocoal = coal(Variant::Custom, false);
             Fig7bRow {
@@ -377,6 +394,8 @@ pub fn fig7b(scale: Scale, nprocs: usize, runs: usize) -> Vec<Fig7bRow> {
                 custom: cu,
                 sc_nocoal,
                 custom_nocoal,
+                adaptive_ms: ad.sim_ms(),
+                adaptive: ad,
             }
         })
         .collect()

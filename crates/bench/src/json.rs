@@ -4,8 +4,8 @@
 //! (app, configuration) pair so successive PRs can track the perf
 //! trajectory as `BENCH_*.json` files. The format is a plain JSON array
 //! of flat objects — simulated ns, wall ns, logical message count, wire-envelope count,
-//! payload bytes — written by hand because the workspace builds offline
-//! (no serde).
+//! payload bytes, protocol-switch count — written by hand because the
+//! workspace builds offline (no serde).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -62,7 +62,7 @@ pub fn render(rows: &[JsonRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "  {{\"table\":\"{}\",\"app\":\"{}\",\"config\":\"{}\",\"procs\":{},\"sim_ns\":{},\"wall_ns\":{},\"msgs\":{},\"wire_msgs\":{},\"bytes\":{}}}",
+            "  {{\"table\":\"{}\",\"app\":\"{}\",\"config\":\"{}\",\"procs\":{},\"sim_ns\":{},\"wall_ns\":{},\"msgs\":{},\"wire_msgs\":{},\"bytes\":{},\"switches\":{}}}",
             escape(r.table),
             escape(&r.app),
             escape(r.config),
@@ -72,6 +72,7 @@ pub fn render(rows: &[JsonRow]) -> String {
             r.stats.msgs,
             r.stats.wire_msgs,
             r.stats.bytes,
+            r.stats.switches,
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -108,7 +109,14 @@ mod tests {
                 "em3d",
                 "sc",
                 8,
-                VariantStats { sim_ns: 10, wall_ns: 20, msgs: 3, wire_msgs: 2, bytes: 4 },
+                VariantStats {
+                    sim_ns: 10,
+                    wall_ns: 20,
+                    msgs: 3,
+                    wire_msgs: 2,
+                    bytes: 4,
+                    switches: 1,
+                },
             ),
             JsonRow::new("fig7b", "em3d", "custom", 8, VariantStats::default()),
         ];
@@ -117,6 +125,7 @@ mod tests {
         assert!(s.contains("\"procs\":8"));
         assert!(s.contains("\"sim_ns\":10"));
         assert!(s.contains("\"msgs\":3,\"wire_msgs\":2"));
+        assert!(s.contains("\"switches\":1"));
         assert!(s.contains("\"config\":\"custom\""));
         assert_eq!(s.matches('{').count(), 2);
     }

@@ -47,6 +47,20 @@ pub struct OpCounters {
     /// Wire envelopes this node sent; `<= logical_msgs`, with the gap
     /// being the sends that coalescing batched into shared envelopes.
     pub wire_msgs: u64,
+    /// Slow-path access starts on a non-home region whose cached copy was
+    /// invalid (cross-protocol base state [`crate::rt::REMOTE_INVALID`]):
+    /// the accesses that force a fetch from home. Counted uniformly by the
+    /// runtime, not by protocols, so adaptive-vs-static comparisons see
+    /// identical numbers for identical access sequences.
+    pub remote_misses: u64,
+    /// Slow-path `start_write` calls on a non-home region holding a valid
+    /// *shared* copy (state code 2 by cross-protocol convention): read
+    /// copies that had to be upgraded to write ownership.
+    pub upgrades: u64,
+    /// Protocol switches this node committed: `change_protocol` calls plus
+    /// adaptive-engine flush-point switches (each also bumps the node's
+    /// wire-visible switch epoch).
+    pub switches: u64,
 }
 
 impl OpCounters {
@@ -81,6 +95,9 @@ impl OpCounters {
         self.region_cache_misses += o.region_cache_misses;
         self.logical_msgs += o.logical_msgs;
         self.wire_msgs += o.wire_msgs;
+        self.remote_misses += o.remote_misses;
+        self.upgrades += o.upgrades;
+        self.switches += o.switches;
     }
 
     /// Fraction of region lookups absorbed by the inline cache, or `None`

@@ -44,10 +44,16 @@ pub enum AceMsg {
     /// Home's answer: the region's space and size.
     MetaReply { region: RegionId, space: SpaceId, words: u64 },
     /// Barrier arrival at the coordinator (node 0). `tag` distinguishes
-    /// per-space barriers from the global machine barrier.
-    BarArrive { tag: u32, epoch: u64 },
-    /// Barrier release broadcast from the coordinator.
-    BarRelease { tag: u32, epoch: u64 },
+    /// per-space barriers from the global machine barrier. `prof` is an
+    /// optional sharing-profile contribution (adaptive protocol engine):
+    /// like the checker's vector clocks it is metrologically invisible —
+    /// the barrier message still charges its fixed 12 bytes — because it
+    /// models a few words folded into a packet the barrier sends anyway.
+    BarArrive { tag: u32, epoch: u64, prof: Option<Arc<[u64]>> },
+    /// Barrier release broadcast from the coordinator. `prof` carries the
+    /// element-wise sum of every arrival's profile contribution when at
+    /// least one node staged one (see [`AceMsg::BarArrive`]).
+    BarRelease { tag: u32, epoch: u64, prof: Option<Arc<[u64]>> },
     /// Default region-lock request, queued FIFO at the region's home.
     LockReq { region: RegionId },
     /// Lock granted to the requester.
@@ -140,15 +146,17 @@ impl WireCodec for AceMsg {
                 out.extend_from_slice(&space.0.to_le_bytes());
                 words.encode(out);
             }
-            AceMsg::BarArrive { tag, epoch } => {
+            AceMsg::BarArrive { tag, epoch, prof } => {
                 out.push(T_BAR_ARRIVE);
                 out.extend_from_slice(&tag.to_le_bytes());
                 epoch.encode(out);
+                put_opt_words(out, prof);
             }
-            AceMsg::BarRelease { tag, epoch } => {
+            AceMsg::BarRelease { tag, epoch, prof } => {
                 out.push(T_BAR_RELEASE);
                 out.extend_from_slice(&tag.to_le_bytes());
                 epoch.encode(out);
+                put_opt_words(out, prof);
             }
             AceMsg::LockReq { region } => {
                 out.push(T_LOCK_REQ);
@@ -190,8 +198,12 @@ impl WireCodec for AceMsg {
                 space: SpaceId(r.u32()?),
                 words: r.u64()?,
             },
-            T_BAR_ARRIVE => AceMsg::BarArrive { tag: r.u32()?, epoch: r.u64()? },
-            T_BAR_RELEASE => AceMsg::BarRelease { tag: r.u32()?, epoch: r.u64()? },
+            T_BAR_ARRIVE => {
+                AceMsg::BarArrive { tag: r.u32()?, epoch: r.u64()?, prof: get_opt_words(r)? }
+            }
+            T_BAR_RELEASE => {
+                AceMsg::BarRelease { tag: r.u32()?, epoch: r.u64()?, prof: get_opt_words(r)? }
+            }
             T_LOCK_REQ => AceMsg::LockReq { region: RegionId(r.u64()?) },
             T_LOCK_GRANT => AceMsg::LockGrant { region: RegionId(r.u64()?) },
             T_LOCK_RELEASE => AceMsg::LockRelease { region: RegionId(r.u64()?) },
@@ -250,6 +262,18 @@ mod tests {
     }
 
     #[test]
+    fn barrier_profile_is_metrologically_invisible() {
+        // The sharing profile rides a message the barrier sends anyway;
+        // like checker vector clocks it must not change byte accounting.
+        let bare = AceMsg::BarArrive { tag: 1, epoch: 2, prof: None };
+        let full = AceMsg::BarArrive { tag: 1, epoch: 2, prof: Some(Arc::from(vec![0u64; 8])) };
+        assert_eq!(bare.size_bytes(), 12);
+        assert_eq!(full.size_bytes(), bare.size_bytes());
+        let rel = AceMsg::BarRelease { tag: 1, epoch: 2, prof: Some(Arc::from(vec![7u64])) };
+        assert_eq!(rel.size_bytes(), 12);
+    }
+
+    #[test]
     fn every_variant_round_trips_the_wire_codec() {
         let msgs = vec![
             AceMsg::Proto(ProtoMsg {
@@ -262,8 +286,10 @@ mod tests {
             AceMsg::Proto(ProtoMsg { region: RegionId::NULL, op: 0, from: 0, arg: 0, data: None }),
             AceMsg::MetaReq { region: RegionId::new(1, 5) },
             AceMsg::MetaReply { region: RegionId::new(1, 5), space: SpaceId(2), words: 64 },
-            AceMsg::BarArrive { tag: 7, epoch: 3 },
-            AceMsg::BarRelease { tag: 7, epoch: 3 },
+            AceMsg::BarArrive { tag: 7, epoch: 3, prof: None },
+            AceMsg::BarArrive { tag: 7, epoch: 3, prof: Some(Arc::from(vec![1u64, 0, 9])) },
+            AceMsg::BarRelease { tag: 7, epoch: 3, prof: None },
+            AceMsg::BarRelease { tag: u32::MAX, epoch: 1, prof: Some(Arc::from(vec![4u64])) },
             AceMsg::LockReq { region: RegionId::new(0, 1) },
             AceMsg::LockGrant { region: RegionId::new(0, 1) },
             AceMsg::LockRelease { region: RegionId::new(0, 1) },

@@ -87,6 +87,14 @@ pub struct AceRt<'n> {
     bar_released: RefCell<HashMap<u32, u64>>,
     bar_local_epoch: RefCell<HashMap<u32, u64>>,
     bar_counts: RefCell<HashMap<(u32, u64), usize>>,
+    // Sharing-profile piggyback for the adaptive protocol engine: staged
+    // contributions ride the next BarArrive for their tag, node 0 sums
+    // them element-wise, and the aggregate rides every BarRelease — so
+    // every node decides on identical machine-wide data with zero extra
+    // messages. Keyed by barrier tag.
+    bar_prof_out: RefCell<HashMap<u32, Vec<u64>>>,
+    bar_prof_acc: RefCell<HashMap<(u32, u64), Vec<u64>>>,
+    bar_prof_in: RefCell<HashMap<u32, Arc<[u64]>>>,
     // Collective data exchange.
     bcast_seq: Cell<u64>,
     bcast_recv: RefCell<HashMap<u64, Arc<[u64]>>>,
@@ -125,6 +133,9 @@ impl<'n> AceRt<'n> {
             bar_released: RefCell::new(HashMap::new()),
             bar_local_epoch: RefCell::new(HashMap::new()),
             bar_counts: RefCell::new(HashMap::new()),
+            bar_prof_out: RefCell::new(HashMap::new()),
+            bar_prof_acc: RefCell::new(HashMap::new()),
+            bar_prof_in: RefCell::new(HashMap::new()),
             bcast_seq: Cell::new(0),
             bcast_recv: RefCell::new(HashMap::new()),
             gather_seq: Cell::new(0),
@@ -419,11 +430,14 @@ impl<'n> AceRt<'n> {
                 e.st.set(crate::rt::REMOTE_INVALID);
                 self.regions.borrow_mut().insert(region.0, e);
             }
-            AceMsg::BarArrive { tag, epoch } => {
+            AceMsg::BarArrive { tag, epoch, prof } => {
                 assert_eq!(self.rank(), 0, "barrier arrivals go to node 0");
-                self.bar_note_arrival(tag, epoch);
+                self.bar_note_arrival(tag, epoch, prof);
             }
-            AceMsg::BarRelease { tag, epoch } => {
+            AceMsg::BarRelease { tag, epoch, prof } => {
+                if let Some(p) = prof {
+                    self.bar_prof_in.borrow_mut().insert(tag, p);
+                }
                 let mut rel = self.bar_released.borrow_mut();
                 let e = rel.entry(tag).or_insert(0);
                 *e = (*e).max(epoch);
@@ -504,6 +518,7 @@ impl<'n> AceRt<'n> {
         let s = self.space(sid);
         let mine = self.regions_of_space(sid);
         let old = s.proto();
+        let old_name = old.name();
         for e in &mine {
             old.flush(self, e);
         }
@@ -517,11 +532,40 @@ impl<'n> AceRt<'n> {
         *s.protocol.borrow_mut() = Rc::clone(&new);
         s.dirty.borrow_mut().clear();
         s.aux.set(0);
+        self.note_switch(sid, old_name, new.name());
         new.init_space(self, &s);
         for e in &mine {
             new.adopt(self, e);
         }
         self.machine_barrier();
+    }
+
+    /// Record one committed protocol switch on this node: counts it, bumps
+    /// the node's wire-visible switch epoch (stamped on every subsequent
+    /// envelope; see [`ace_machine::Envelope`]), and emits an
+    /// [`EventKind::Switch`] trace event. Called by [`AceRt::change_protocol`]
+    /// and by the adaptive engine's flush-point switch, in both cases
+    /// between the two machine barriers of the handover — which is what
+    /// makes the epoch stamp a coherence proof: no peer can send from more
+    /// than one epoch ahead. Returns the new epoch.
+    pub fn note_switch(&self, space: SpaceId, from: &'static str, to: &'static str) -> u64 {
+        self.counters.borrow_mut().switches += 1;
+        let epoch = self.node.switch_epoch() + 1;
+        self.node.set_switch_epoch(epoch);
+        let sink = self.node.trace_sink();
+        if sink.enabled() {
+            sink.emit(
+                self.node.now(),
+                EventKind::Switch {
+                    region: ace_machine::NO_REGION,
+                    space: space.0,
+                    from,
+                    to,
+                    epoch,
+                },
+            );
+        }
+        epoch
     }
 
     // ------------------------------------------------------------------
@@ -744,6 +788,26 @@ impl<'n> AceRt<'n> {
         self.node.charge(self.node.cost().fast_path);
     }
 
+    /// Uniform sharing-signal accounting for a slow-path access start,
+    /// taken *before* the hook runs (the hook mutates the state code). A
+    /// non-home region in the invalid base state is a remote miss — the
+    /// access forces a fetch; a non-home write on a valid shared copy
+    /// (state 2 by cross-protocol convention) is an upgrade. Counted by
+    /// the runtime, not by protocols, so identical access sequences yield
+    /// identical counts regardless of which protocol serves them.
+    #[inline]
+    fn note_slow_access(&self, e: &RegionEntry, write: bool) {
+        if e.is_home_of(self.rank()) {
+            return;
+        }
+        let st = e.st.get();
+        if st == REMOTE_INVALID {
+            self.counters.borrow_mut().remote_misses += 1;
+        } else if write && st == REMOTE_SHARED {
+            self.counters.borrow_mut().upgrades += 1;
+        }
+    }
+
     /// Checker hook for an access-section open: runs after the start hook
     /// completed and the section counter was incremented, so the recorded
     /// vector clock dominates every message the hook exchanged. Only the
@@ -796,6 +860,7 @@ impl<'n> AceRt<'n> {
             return;
         }
         self.dispatch_charge();
+        self.note_slow_access(&e, false);
         let proto = self.space(e.space).proto();
         let st0 = self.hook_enter(Hook::StartRead, &e, proto.name());
         proto.start_read(self, &e);
@@ -833,6 +898,7 @@ impl<'n> AceRt<'n> {
             return;
         }
         self.dispatch_charge();
+        self.note_slow_access(&e, true);
         let proto = self.space(e.space).proto();
         let st0 = self.hook_enter(Hook::StartWrite, &e, proto.name());
         proto.start_write(self, &e);
@@ -887,6 +953,7 @@ impl<'n> AceRt<'n> {
             return;
         }
         self.direct_charge();
+        self.note_slow_access(&e, false);
         let st0 = self.hook_enter(Hook::StartRead, &e, proto.name());
         proto.start_read(self, &e);
         self.hook_exit(st0, Hook::StartRead, &e, proto.name());
@@ -923,6 +990,7 @@ impl<'n> AceRt<'n> {
             return;
         }
         self.direct_charge();
+        self.note_slow_access(&e, true);
         let st0 = self.hook_enter(Hook::StartWrite, &e, proto.name());
         proto.start_write(self, &e);
         self.hook_exit(st0, Hook::StartWrite, &e, proto.name());
@@ -1123,17 +1191,28 @@ impl<'n> AceRt<'n> {
             *e += 1;
             *e
         };
+        let prof = self.bar_prof_out.borrow_mut().remove(&tag).map(Arc::from);
         if self.rank() == 0 {
-            self.bar_note_arrival(tag, epoch);
+            self.bar_note_arrival(tag, epoch, prof);
         } else {
-            self.send(0, AceMsg::BarArrive { tag, epoch });
+            self.send(0, AceMsg::BarArrive { tag, epoch, prof });
         }
         self.wait("barrier release", || {
             self.bar_released.borrow().get(&tag).copied().unwrap_or(0) >= epoch
         });
     }
 
-    fn bar_note_arrival(&self, tag: u32, epoch: u64) {
+    fn bar_note_arrival(&self, tag: u32, epoch: u64, prof: Option<Arc<[u64]>>) {
+        if let Some(p) = prof {
+            let mut acc = self.bar_prof_acc.borrow_mut();
+            let sum = acc.entry((tag, epoch)).or_default();
+            if sum.len() < p.len() {
+                sum.resize(p.len(), 0);
+            }
+            for (s, v) in sum.iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+        }
         let full = {
             let mut counts = self.bar_counts.borrow_mut();
             let c = counts.entry((tag, epoch)).or_insert(0);
@@ -1146,13 +1225,35 @@ impl<'n> AceRt<'n> {
             }
         };
         if full {
+            let agg: Option<Arc<[u64]>> =
+                self.bar_prof_acc.borrow_mut().remove(&(tag, epoch)).map(Arc::from);
             for dst in 1..self.nprocs() {
-                self.send(dst, AceMsg::BarRelease { tag, epoch });
+                self.send(dst, AceMsg::BarRelease { tag, epoch, prof: agg.clone() });
+            }
+            if let Some(p) = agg {
+                self.bar_prof_in.borrow_mut().insert(tag, p);
             }
             let mut rel = self.bar_released.borrow_mut();
             let e = rel.entry(tag).or_insert(0);
             *e = (*e).max(epoch);
         }
+    }
+
+    /// Stage this node's sharing-profile contribution for its next barrier
+    /// on `sid`'s tag (adaptive protocol engine). The words ride the next
+    /// `BarArrive` for that tag; node 0 sums all contributions element-wise
+    /// and the aggregate rides every `BarRelease`, so after the barrier
+    /// every node holds the identical machine-wide sum — consensus with
+    /// zero extra messages and zero extra bytes charged.
+    pub fn stage_bar_profile(&self, sid: SpaceId, prof: Vec<u64>) {
+        self.bar_prof_out.borrow_mut().insert(sid.0, prof);
+    }
+
+    /// Take the aggregated profile released by this node's most recent
+    /// barrier on `sid`'s tag, if any arrival staged one. Consuming: a
+    /// second call returns `None` until the next profiled barrier.
+    pub fn take_bar_aggregate(&self, sid: SpaceId) -> Option<Arc<[u64]>> {
+        self.bar_prof_in.borrow_mut().remove(&sid.0)
     }
 
     /// `Ace_Lock`: dispatched through the region's protocol. Fetches the
@@ -1283,6 +1384,11 @@ impl<'n> AceRt<'n> {
 pub const HOME_OWNED_STATE: u32 = 0;
 /// Canonical base-state code for a remote entry with an invalid cache.
 pub const REMOTE_INVALID: u32 = 1;
+/// Remote entry holding a valid shared (read) copy. A cross-protocol
+/// convention rather than a runtime-enforced state: every fetching
+/// protocol in the suite parks a readable remote copy on code 2. Used
+/// only for uniform upgrade accounting, never for protocol decisions.
+pub const REMOTE_SHARED: u32 = 2;
 
 #[cfg(test)]
 mod tests {
@@ -1362,6 +1468,62 @@ mod tests {
             rt.allreduce_u64(rt.rank() as u64, |a, b| a + b)
         });
         assert!(r.results.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn barrier_profile_aggregates_machine_wide() {
+        // Every node stages a contribution; after the barrier every node
+        // holds the identical element-wise sum, and a barrier with nothing
+        // staged releases no aggregate.
+        let r = run_ace(4, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            rt.stage_bar_profile(s, vec![1, rt.rank() as u64]);
+            rt.barrier(s);
+            let agg = rt.take_bar_aggregate(s).expect("aggregate released");
+            assert!(rt.take_bar_aggregate(s).is_none(), "take is consuming");
+            rt.barrier(s);
+            assert!(rt.take_bar_aggregate(s).is_none(), "unprofiled barrier");
+            agg.to_vec()
+        });
+        for node in &r.results {
+            // 4 contributions of [1, rank]; ranks 0..4 sum to 6.
+            assert_eq!(node, &[4, 6]);
+        }
+    }
+
+    #[test]
+    fn ragged_profiles_sum_to_longest() {
+        // Contributions may differ in length (a node that created fewer
+        // regions): the sum is over the longest, missing words count 0 —
+        // and staging from a strict subset of nodes still aggregates.
+        let r = run_ace(3, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            match rt.rank() {
+                0 => rt.stage_bar_profile(s, vec![2]),
+                1 => rt.stage_bar_profile(s, vec![3, 5, 7]),
+                _ => {}
+            }
+            rt.barrier(s);
+            rt.take_bar_aggregate(s).expect("aggregate").to_vec()
+        });
+        for node in &r.results {
+            assert_eq!(node, &[5, 5, 7]);
+        }
+    }
+
+    #[test]
+    fn change_protocol_counts_a_switch_and_bumps_the_epoch() {
+        let r = run_ace(2, CostModel::free(), |rt| {
+            let s = rt.new_space(noop());
+            let _rid = if rt.rank() == 0 { Some(rt.gmalloc::<u64>(s, 4)) } else { None };
+            rt.machine_barrier();
+            rt.change_protocol(s, noop());
+            rt.change_protocol(s, noop());
+            (rt.counters().switches, rt.node().switch_epoch())
+        });
+        for node in &r.results {
+            assert_eq!(*node, (2, 2));
+        }
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub struct Envelope<M> {
     /// (one merge per wire envelope). Checker metadata is metrologically
     /// invisible: it contributes nothing to `bytes` or any cost charge.
     pub vc: Option<std::sync::Arc<[u64]>>,
+    /// The sender's protocol-switch epoch at injection: how many adaptive
+    /// protocol switches the sender had committed when this message left.
+    /// Like [`Envelope::vc`] it is metrologically invisible (zero bytes,
+    /// zero cost charges); receivers max-merge it so a node always knows
+    /// the newest epoch any peer has reached, and debug builds assert no
+    /// message arrives from more than one switch in the future — the
+    /// two-barrier switch handshake makes that impossible for a coherent
+    /// engine.
+    pub sw: u64,
     /// Wire bytes — payload plus [`HEADER_BYTES`] — captured at send time
     /// by calling [`MsgSize::size_bytes`] once, so the receiver never
     /// re-measures the payload and both ends charge identical bytes.
@@ -77,6 +86,9 @@ pub enum Wire<M> {
         parts: Vec<(M, usize)>,
         /// Sender's vector clock at flush, when checking is enabled.
         vc: Option<std::sync::Arc<[u64]>>,
+        /// Sender's protocol-switch epoch at flush (see [`Envelope::sw`]);
+        /// stamped back onto every re-expanded part.
+        sw: u64,
     },
 }
 

@@ -249,6 +249,16 @@ pub struct Node<M> {
     vc: RefCell<Vec<u64>>,
     /// Conformance violations recorded against this node.
     violations: Cell<u64>,
+    /// This node's protocol-switch epoch: bumped by an adaptive engine
+    /// when it commits a switch, stamped on every outgoing wire envelope
+    /// (see [`Envelope::sw`]). Metrologically invisible.
+    sw_epoch: Cell<u64>,
+    /// Highest switch epoch seen on any incoming envelope (max-merged on
+    /// absorb). During a switch handshake a node blocked in the commit
+    /// barrier can observe `sw_epoch + 1` — peers past the barrier have
+    /// already bumped — but never more: the engine's two-barrier commit
+    /// bounds the skew, and debug builds assert it.
+    sw_seen: Cell<u64>,
 }
 
 impl<M: MsgSize + Send> Node<M> {
@@ -286,6 +296,8 @@ impl<M: MsgSize + Send> Node<M> {
             det_seed: setup.det_seed,
             vc: RefCell::new(if setup.check.enabled() { vec![0; nprocs] } else { Vec::new() }),
             violations: Cell::new(0),
+            sw_epoch: Cell::new(0),
+            sw_seen: Cell::new(0),
         }
     }
 
@@ -353,6 +365,29 @@ impl<M: MsgSize + Send> Node<M> {
     /// The conformance-checking mode this machine was built with.
     pub fn check_mode(&self) -> CheckMode {
         self.check
+    }
+
+    /// This node's protocol-switch epoch (stamped on outgoing envelopes).
+    pub fn switch_epoch(&self) -> u64 {
+        self.sw_epoch.get()
+    }
+
+    /// The highest switch epoch observed on any incoming envelope.
+    pub fn switch_epoch_seen(&self) -> u64 {
+        self.sw_seen.get().max(self.sw_epoch.get())
+    }
+
+    /// Advance this node's switch epoch to `epoch` (monotone; called by an
+    /// adaptive protocol engine at its switch commit point, between the
+    /// drain barrier and the adopt barrier). Subsequent sends carry the
+    /// new epoch.
+    pub fn set_switch_epoch(&self, epoch: u64) {
+        debug_assert!(
+            epoch >= self.sw_epoch.get(),
+            "switch epoch must be monotone: {} -> {epoch}",
+            self.sw_epoch.get()
+        );
+        self.sw_epoch.set(epoch.max(self.sw_epoch.get()));
     }
 
     /// Record one conformance violation against this node (called by the
@@ -429,6 +464,7 @@ impl<M: MsgSize + Send> Node<M> {
                     send_time: self.clock.get(),
                     bytes,
                     vc: self.vc_stamp(),
+                    sw: self.sw_epoch.get(),
                     msg,
                 };
                 self.transport.send_wire(dst, Wire::Single(env));
@@ -524,6 +560,7 @@ impl<M: MsgSize + Send> Node<M> {
             wire_bytes,
             parts,
             vc: self.vc_stamp(),
+            sw: self.sw_epoch.get(),
         };
         self.transport.send_wire(dst, wire);
     }
@@ -543,7 +580,7 @@ impl<M: MsgSize + Send> Node<M> {
                     env,
                 });
             }
-            Wire::Batch { src, send_time, wire_bytes, parts, vc } => {
+            Wire::Batch { src, send_time, wire_bytes, parts, vc, sw } => {
                 let arrival = send_time + self.cost.wire_time(wire_bytes);
                 let subs = parts.len() as u32;
                 let mut vc = vc;
@@ -551,7 +588,7 @@ impl<M: MsgSize + Send> Node<M> {
                     // Only the batch's first delivered part carries the
                     // sender's vector clock: one merge per wire envelope.
                     inbox.push_back(Inbound {
-                        env: Envelope { src, send_time, bytes: payload, vc: vc.take(), msg },
+                        env: Envelope { src, send_time, bytes: payload, vc: vc.take(), sw, msg },
                         arrival,
                         charge: if i == 0 { self.cost.recv_overhead } else { self.cost.pack_cost },
                         wire: (i == 0).then_some((subs, wire_bytes as u32)),
@@ -711,6 +748,21 @@ impl<M: MsgSize + Send> Node<M> {
         self.msgs_recv.set(self.msgs_recv.get() + 1);
         if let Some(vc) = &inb.env.vc {
             self.vc_merge(vc);
+        }
+        if inb.env.sw > self.sw_seen.get() {
+            // Coherent switch commits sit between two machine barriers, so
+            // a message can arrive from at most one epoch ahead (its sender
+            // passed the commit barrier this node is still approaching) and
+            // never from a stale epoch after this node committed a newer
+            // one — the pre-commit flush drained those.
+            debug_assert!(
+                inb.env.sw <= self.sw_epoch.get() + 1,
+                "node {}: message from switch epoch {} arrived at epoch {}",
+                self.rank,
+                inb.env.sw,
+                self.sw_epoch.get()
+            );
+            self.sw_seen.set(inb.env.sw);
         }
         if self.sink.enabled() {
             if let Some((subs, wire_bytes)) = inb.wire {
@@ -892,6 +944,7 @@ impl<M: MsgSize + Send> Node<M> {
             wire_bytes: self.wire_bytes_sent.get(),
             msgs_recv: self.msgs_recv.get(),
             violations: self.violations.get(),
+            switch_epoch: self.sw_epoch.get(),
             final_clock: self.clock.get(),
         }
     }

@@ -27,6 +27,9 @@ pub struct NodeStats {
     /// Conformance violations the runtime checker recorded against this
     /// node (always zero when the machine runs with `CheckMode::Off`).
     pub violations: u64,
+    /// The node's final protocol-switch epoch: how many adaptive protocol
+    /// switches it committed (zero on machines running static protocols).
+    pub switch_epoch: u64,
     /// Final virtual clock, filled in when the node's program returns.
     pub final_clock: u64,
 }
@@ -71,6 +74,11 @@ impl MachineStats {
         self.nodes.iter().map(|n| n.violations).sum()
     }
 
+    /// Total protocol-switch epochs committed across all nodes.
+    pub fn total_switches(&self) -> u64 {
+        self.nodes.iter().map(|n| n.switch_epoch).sum()
+    }
+
     /// Simulated completion time of the run: the maximum final clock.
     pub fn sim_time(&self) -> u64 {
         self.nodes.iter().map(|n| n.final_clock).max().unwrap_or(0)
@@ -92,6 +100,7 @@ mod tests {
                     wire_bytes: 80,
                     msgs_recv: 1,
                     violations: 1,
+                    switch_epoch: 0,
                     final_clock: 50,
                 },
                 NodeStats {
@@ -101,6 +110,7 @@ mod tests {
                     wire_bytes: 10,
                     msgs_recv: 4,
                     violations: 0,
+                    switch_epoch: 0,
                     final_clock: 80,
                 },
             ],

@@ -199,6 +199,7 @@ impl<M: WireCodec> WireCodec for Envelope<M> {
         out.extend_from_slice(&self.send_time.to_le_bytes());
         out.extend_from_slice(&(self.bytes as u32).to_le_bytes());
         put_vc(out, &self.vc);
+        out.extend_from_slice(&self.sw.to_le_bytes());
         self.msg.encode(out);
     }
 
@@ -208,6 +209,7 @@ impl<M: WireCodec> WireCodec for Envelope<M> {
             send_time: r.u64()?,
             bytes: r.u32()? as usize,
             vc: get_vc(r)?,
+            sw: r.u64()?,
             msg: M::decode(r)?,
         })
     }
@@ -224,12 +226,13 @@ impl<M: WireCodec> WireCodec for Wire<M> {
                 out.push(WIRE_SINGLE);
                 env.encode(out);
             }
-            Wire::Batch { src, send_time, wire_bytes, parts, vc } => {
+            Wire::Batch { src, send_time, wire_bytes, parts, vc, sw } => {
                 out.push(WIRE_BATCH);
                 out.extend_from_slice(&(*src as u32).to_le_bytes());
                 out.extend_from_slice(&send_time.to_le_bytes());
                 out.extend_from_slice(&(*wire_bytes as u32).to_le_bytes());
                 put_vc(out, vc);
+                out.extend_from_slice(&sw.to_le_bytes());
                 out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
                 for (msg, payload) in parts {
                     out.extend_from_slice(&(*payload as u32).to_le_bytes());
@@ -247,13 +250,14 @@ impl<M: WireCodec> WireCodec for Wire<M> {
                 let send_time = r.u64()?;
                 let wire_bytes = r.u32()? as usize;
                 let vc = get_vc(r)?;
+                let sw = r.u64()?;
                 let n = r.u32()? as usize;
                 let mut parts = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
                     let payload = r.u32()? as usize;
                     parts.push((M::decode(r)?, payload));
                 }
-                Ok(Wire::Batch { src, send_time, wire_bytes, parts, vc })
+                Ok(Wire::Batch { src, send_time, wire_bytes, parts, vc, sw })
             }
             t => Err(CodecError::BadTag(t)),
         }
@@ -276,7 +280,7 @@ mod tests {
     #[test]
     fn envelope_round_trips_with_and_without_vc() {
         for vc in [None, Some(Arc::from(vec![3u64, 0, 7]))] {
-            let env = Envelope { src: 5, send_time: 12345, bytes: 28, vc, msg: 99u64 };
+            let env = Envelope { src: 5, send_time: 12345, bytes: 28, vc, sw: 4, msg: 99u64 };
             let mut buf = Vec::new();
             env.encode(&mut buf);
             let back = Envelope::<u64>::decode(&mut WireReader::new(&buf)).unwrap();
@@ -285,6 +289,7 @@ mod tests {
             assert_eq!(back.bytes, env.bytes);
             assert_eq!(back.msg, env.msg);
             assert_eq!(back.vc.as_deref(), env.vc.as_deref(), "vc travels as plain words");
+            assert_eq!(back.sw, 4, "switch epoch travels as one word");
         }
     }
 
@@ -295,12 +300,14 @@ mod tests {
             send_time: 777,
             bytes: 16,
             vc: Some(Arc::from(vec![1u64, 2])),
+            sw: 9,
             msg: 41u64,
         });
         match round_trip(&w) {
             Wire::Single(env) => {
                 assert_eq!((env.src, env.send_time, env.bytes, env.msg), (2, 777, 16, 41));
                 assert_eq!(env.vc.as_deref(), Some(&[1u64, 2][..]));
+                assert_eq!(env.sw, 9);
             }
             Wire::Batch { .. } => panic!("single decoded as batch"),
         }
@@ -314,11 +321,13 @@ mod tests {
             wire_bytes: 100,
             parts: vec![(vec![1, 2], 16), (vec![], 0), (vec![9], 8)],
             vc: None,
+            sw: 2,
         };
         match round_trip(&w) {
-            Wire::Batch { src, send_time, wire_bytes, parts, vc } => {
+            Wire::Batch { src, send_time, wire_bytes, parts, vc, sw } => {
                 assert_eq!((src, send_time, wire_bytes), (3, 42, 100));
                 assert!(vc.is_none());
+                assert_eq!(sw, 2);
                 assert_eq!(parts, vec![(vec![1, 2], 16), (vec![], 0), (vec![9], 8)]);
             }
             Wire::Single(_) => panic!("batch decoded as single"),
@@ -327,7 +336,7 @@ mod tests {
 
     #[test]
     fn truncated_and_bad_tag_frames_are_rejected() {
-        let env = Envelope { src: 0, send_time: 0, bytes: 8, vc: None, msg: 7u64 };
+        let env = Envelope { src: 0, send_time: 0, bytes: 8, vc: None, sw: 0, msg: 7u64 };
         let mut buf = Vec::new();
         Wire::Single(env).encode(&mut buf);
         for cut in 0..buf.len() {

@@ -90,7 +90,7 @@ mod tests {
     use crate::envelope::Envelope;
 
     fn env(src: usize, msg: u64) -> Wire<u64> {
-        Wire::Single(Envelope { src, send_time: 0, bytes: 28, vc: None, msg })
+        Wire::Single(Envelope { src, send_time: 0, bytes: 28, vc: None, sw: 0, msg })
     }
 
     #[test]

@@ -801,7 +801,7 @@ mod tests {
     }
 
     fn single(src: usize, msg: u64) -> Wire<u64> {
-        Wire::Single(Envelope { src, send_time: 0, bytes: 31, vc: None, msg })
+        Wire::Single(Envelope { src, send_time: 0, bytes: 31, vc: None, sw: 0, msg })
     }
 
     #[test]

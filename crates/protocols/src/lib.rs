@@ -18,11 +18,13 @@
 //! | [`PipelinedWrite`] | Water inter-molecular phase | local writes diffed against a twin; f64 deltas pipelined home and accumulated; completion checked at barriers |
 //! | [`HomeOwned`] | BSC | asserts only the creating node writes; readers pull bulk copies, validity bounded by barriers |
 //! | [`FetchAddCounter`] | TSP job counter | `lock` performs a one-round-trip fetch-and-add at home |
+//! | [`AdaptiveEngine`] | runtime-chosen | meta-protocol: samples sharing signals, switches a space among the above at barriers |
 //!
 //! The [`registry`] module is the analogue of the paper's protocol
 //! registration script (Figure 1): a table of protocol names, their
 //! optimizability, and their null handlers, consumed by the Ace-C compiler.
 
+pub mod adaptive;
 pub mod counter;
 pub mod dyn_update;
 #[cfg(test)]
@@ -35,6 +37,7 @@ pub mod registry;
 pub mod seq_inv;
 pub mod static_update;
 
+pub use adaptive::{AdaptiveEngine, AdaptiveSpec};
 pub use counter::FetchAddCounter;
 pub use dyn_update::DynamicUpdate;
 pub use home_owned::HomeOwned;

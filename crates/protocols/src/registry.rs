@@ -14,8 +14,8 @@ use std::rc::Rc;
 use ace_core::{Actions, GrantSet, Protocol};
 
 use crate::{
-    DynamicUpdate, FetchAddCounter, HomeOwned, Migratory, NullProtocol, PipelinedWrite,
-    SeqInvalidate, StaticUpdate,
+    AdaptiveEngine, AdaptiveSpec, DynamicUpdate, FetchAddCounter, HomeOwned, Migratory,
+    NullProtocol, PipelinedWrite, SeqInvalidate, StaticUpdate,
 };
 
 /// A serializable protocol selector, used by applications to request
@@ -38,6 +38,8 @@ pub enum ProtoSpec {
     HomeOwned,
     /// Fetch-and-add counter with the given stride.
     FetchAdd(u64),
+    /// Adaptive meta-protocol over a candidate set of the above.
+    Adaptive(AdaptiveSpec),
 }
 
 impl ProtoSpec {
@@ -53,6 +55,7 @@ impl ProtoSpec {
             ProtoSpec::Pipelined => "Pipelined",
             ProtoSpec::HomeOwned => "HomeOwned",
             ProtoSpec::FetchAdd(_) => "FetchAdd",
+            ProtoSpec::Adaptive(_) => "Adaptive",
         }
     }
 
@@ -67,6 +70,7 @@ impl ProtoSpec {
             "Pipelined" => ProtoSpec::Pipelined,
             "HomeOwned" => ProtoSpec::HomeOwned,
             "FetchAdd" => ProtoSpec::FetchAdd(1),
+            "Adaptive" => ProtoSpec::Adaptive(AdaptiveSpec::default_set()),
             _ => return None,
         })
     }
@@ -83,6 +87,7 @@ pub fn make(spec: ProtoSpec) -> Rc<dyn Protocol> {
         ProtoSpec::Pipelined => Rc::new(PipelinedWrite::new()),
         ProtoSpec::HomeOwned => Rc::new(HomeOwned::new()),
         ProtoSpec::FetchAdd(stride) => Rc::new(FetchAddCounter::with_stride(stride)),
+        ProtoSpec::Adaptive(spec) => Rc::new(AdaptiveEngine::new(spec)),
     }
 }
 
@@ -114,6 +119,7 @@ pub fn all_protocols() -> Vec<ProtocolInfo> {
         ProtoSpec::Pipelined,
         ProtoSpec::HomeOwned,
         ProtoSpec::FetchAdd(1),
+        ProtoSpec::Adaptive(AdaptiveSpec::default_set()),
     ]
     .into_iter()
     .map(|spec| {
@@ -172,6 +178,21 @@ mod tests {
         assert_eq!(g("Pipelined"), GrantSet::concurrent());
         assert_eq!(g("StaticUpdate"), GrantSet { write_write: false, read_write: true });
         assert_eq!(g("HomeOwned"), GrantSet { write_write: false, read_write: true });
+    }
+
+    #[test]
+    fn adaptive_registers_and_delegates_grants_to_its_start_candidate() {
+        let i = info("Adaptive").unwrap();
+        // Never optimizable: reordering across a potential switch point
+        // is unsafe, and the engine's grants start at SC's (exclusive)
+        // because delegation tracks the inner protocol.
+        assert!(!i.optimizable);
+        assert_eq!(i.grants, GrantSet::exclusive());
+        assert_eq!(i.null_actions, Actions::empty());
+        match i.spec {
+            ProtoSpec::Adaptive(s) => assert!(s.is_adaptive()),
+            other => panic!("wrong spec: {other:?}"),
+        }
     }
 
     #[test]

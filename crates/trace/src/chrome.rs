@@ -160,6 +160,16 @@ impl MachineTrace {
                         region_str(*region)
                     );
                 }
+                EventKind::Switch { region, space, from, to, epoch } => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{rank},\"ts\":{t},\"s\":\"t\",\
+                         \"cat\":\"switch\",\"name\":\"switch {from}->{to}\",\
+                         \"args\":{{\"region\":\"{}\",\"space\":{space},\"from\":\"{from}\",\
+                         \"to\":\"{to}\",\"epoch\":{epoch}}}}}",
+                        region_str(*region)
+                    );
+                }
                 EventKind::Violation { region, what } => {
                     let _ = write!(
                         out,
@@ -470,6 +480,32 @@ mod tests {
         assert_eq!(check.instants, 1);
         assert!(doc.contains("\"cat\":\"violation\""), "{doc}");
         assert!(doc.contains("conformance violation on r1.2"), "{doc}");
+    }
+
+    #[test]
+    fn switch_events_export_as_instants() {
+        let trace = MachineTrace {
+            nodes: vec![NodeTrace {
+                rank: 0,
+                dropped: 0,
+                events: vec![ev(
+                    7,
+                    K::Switch {
+                        region: crate::NO_REGION,
+                        space: 2,
+                        from: "SC",
+                        to: "Pipelined",
+                        epoch: 3,
+                    },
+                )],
+            }],
+        };
+        let doc = trace.to_chrome_json();
+        let check = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(check.instants, 1);
+        assert!(doc.contains("\"cat\":\"switch\""), "{doc}");
+        assert!(doc.contains("switch SC->Pipelined"), "{doc}");
+        assert!(doc.contains("\"epoch\":3"), "{doc}");
     }
 
     #[test]

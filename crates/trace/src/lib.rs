@@ -27,7 +27,9 @@ pub mod timeline;
 
 pub use chrome::{validate_chrome_trace, ChromeCheck};
 pub use sink::TraceSink;
-pub use timeline::{BlockedWait, HookRow, MachineTrace, NodeTrace, TagRow, TraceSummary};
+pub use timeline::{
+    BlockedWait, HookRow, MachineTrace, NodeTrace, SwitchRow, TagRow, TraceSummary,
+};
 
 /// Default per-node ring capacity, in events.
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
@@ -205,6 +207,22 @@ pub enum EventKind {
         /// The structured report, rendered (an `AceError::Conformance`
         /// Display string at the runtime layer).
         what: Box<str>,
+    },
+    /// An adaptive protocol engine committed a protocol switch on this
+    /// node. Space-wide switches carry [`NO_REGION`]; `epoch` is the
+    /// engine's switch epoch *after* the commit (also piggybacked on
+    /// every subsequent wire envelope).
+    Switch {
+        /// Target region id bits, or [`NO_REGION`] for a space-wide switch.
+        region: u64,
+        /// The space whose protocol moved.
+        space: u32,
+        /// Registered name of the protocol switched away from.
+        from: &'static str,
+        /// Registered name of the protocol switched to.
+        to: &'static str,
+        /// The switch epoch after the commit.
+        epoch: u64,
     },
     /// The node blocked (entered a poll loop) waiting for `what`.
     Block {

@@ -55,6 +55,19 @@ pub struct HookRow {
     pub time_ns: u64,
 }
 
+/// Per-(from-protocol, to-protocol) switch aggregate in a
+/// [`TraceSummary`]: how many adaptive protocol switches moved a space
+/// between this ordered pair of protocols, across all nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchRow {
+    /// Protocol switched away from.
+    pub from: &'static str,
+    /// Protocol switched to.
+    pub to: &'static str,
+    /// Number of switch commits over this pair.
+    pub count: u64,
+}
+
 /// Per-message-tag aggregate in a [`TraceSummary`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TagRow {
@@ -82,6 +95,9 @@ pub struct TraceSummary {
     pub hooks: Vec<HookRow>,
     /// Sent messages by tag, sorted by descending bytes.
     pub tags: Vec<TagRow>,
+    /// Adaptive protocol switches grouped per (from, to) protocol pair,
+    /// sorted by descending count.
+    pub switches: Vec<SwitchRow>,
     /// Total events across all nodes.
     pub events: u64,
     /// Total events dropped to ring overflow.
@@ -144,6 +160,7 @@ impl MachineTrace {
     pub fn summary(&self) -> TraceSummary {
         let mut hooks: HashMap<(&'static str, &'static str), (u64, u64)> = HashMap::new();
         let mut tags: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
+        let mut switches: HashMap<(&'static str, &'static str), u64> = HashMap::new();
         let mut dropped = 0;
         let mut violations = 0;
         for n in &self.nodes {
@@ -173,6 +190,9 @@ impl MachineTrace {
                             row.1 += e.t.saturating_sub(t0);
                         }
                     }
+                    EventKind::Switch { from, to, .. } => {
+                        *switches.entry((from, to)).or_insert(0) += 1;
+                    }
                     EventKind::Violation { .. } => violations += 1,
                     _ => {}
                 }
@@ -188,9 +208,14 @@ impl MachineTrace {
             .map(|(tag, (msgs, logical, bytes))| TagRow { tag, msgs, logical, bytes })
             .collect();
         tags.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.tag.cmp(b.tag)));
+        let mut switches: Vec<SwitchRow> =
+            switches.into_iter().map(|((from, to), count)| SwitchRow { from, to, count }).collect();
+        switches
+            .sort_by(|a, b| b.count.cmp(&a.count).then(a.from.cmp(b.from)).then(a.to.cmp(b.to)));
         TraceSummary {
             hooks,
             tags,
+            switches,
             events: self.event_count() as u64,
             dropped,
             fast_hits: 0,
@@ -287,6 +312,12 @@ impl TraceSummary {
             for r in &self.hooks {
                 let _ =
                     writeln!(s, "{:<16} {:<14} {:>10} {:>14}", r.proto, r.hook, r.count, r.time_ns);
+            }
+        }
+        if !self.switches.is_empty() {
+            let _ = writeln!(s, "{:<16} {:<16} {:>10}", "switch from", "to", "count");
+            for r in &self.switches {
+                let _ = writeln!(s, "{:<16} {:<16} {:>10}", r.from, r.to, r.count);
             }
         }
         if !self.tags.is_empty() {
@@ -389,6 +420,40 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("RREQ"));
         assert!(rendered.contains("4 logical in 2 wire envelopes (coalesced)"), "{rendered}");
+    }
+
+    #[test]
+    fn summary_groups_switches_per_protocol_pair() {
+        let sw = |from, to, epoch| K::Switch { region: NO_REGION, space: 1, from, to, epoch };
+        let t = MachineTrace {
+            nodes: vec![
+                NodeTrace {
+                    rank: 0,
+                    dropped: 0,
+                    events: vec![
+                        ev(10, sw("SC", "StaticUpdate", 1)),
+                        ev(20, sw("StaticUpdate", "SC", 2)),
+                        ev(30, sw("SC", "StaticUpdate", 3)),
+                    ],
+                },
+                NodeTrace {
+                    rank: 1,
+                    dropped: 0,
+                    events: vec![ev(12, sw("SC", "StaticUpdate", 1))],
+                },
+            ],
+        };
+        let s = t.summary();
+        assert_eq!(
+            s.switches,
+            vec![
+                SwitchRow { from: "SC", to: "StaticUpdate", count: 3 },
+                SwitchRow { from: "StaticUpdate", to: "SC", count: 1 },
+            ]
+        );
+        let rendered = s.render();
+        assert!(rendered.contains("switch from"), "{rendered}");
+        assert!(rendered.contains("StaticUpdate"), "{rendered}");
     }
 
     #[test]
